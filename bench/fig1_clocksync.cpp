@@ -1,0 +1,119 @@
+// Figure 1 reproduction: "MMTimer synchronization errors and offsets."
+//
+// The paper ran the shared-memory clock-comparison experiment for four
+// hours (one round per 100 ms) against the Altix's MMTimer and found: no
+// drift, error always >= offset, and a bound of roughly 90 ticks -- while
+// the hardware synchronization itself is good to ~8 ticks (masked by the
+// read latency). We run the same algorithm against MMTimerSim with injected
+// node offsets (ground truth known!) and report the same three series.
+//
+// Expected shape: max error >= max|offset| every round; both bounded; the
+// estimated bound covers the true injected offsets.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <functional>
+#include <vector>
+
+#include "clocksync/sync_probe.hpp"
+#include "timebase/mmtimer.hpp"
+#include "util/affinity.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace chronostm;
+
+int main(int argc, char** argv) {
+    Cli cli("Figure 1: MMTimer synchronization errors and offsets");
+    cli.flag_i64("rounds", 40, "measurement rounds (paper: 4h at 10/s)")
+        .flag_i64("interval-us", 5000, "pause between rounds")
+        .flag_i64("exchanges", 16, "probe exchanges per round (best kept)")
+        .flag_i64("nodes", 2, "MMTimer nodes (probes = nodes-1)")
+        .flag_i64("inject", 4,
+                  "max injected per-node offset, ticks. The default models "
+                  "the hardware-synchronized device of the paper (offsets "
+                  "below the read latency); raise it to study a badly "
+                  "synchronized clock -- error>=offset is then expected to "
+                  "fail, exactly as the paper's reasoning predicts");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("== Reproduction of Figure 1 (SPAA'07, Riegel/Fetzer/Felber) ==\n"
+                "Workload: shared-memory clock comparison, reference node 0\n\n");
+
+    tb::MMTimerConfig mcfg;
+    mcfg.nodes = static_cast<unsigned>(cli.i64("nodes"));
+    mcfg.max_injected_offset_ticks = cli.i64("inject");
+    tb::MMTimerSim sim(mcfg);
+
+    csync::SyncProbeConfig pcfg;
+    pcfg.rounds = static_cast<int>(cli.i64("rounds"));
+    pcfg.exchanges_per_round = static_cast<int>(cli.i64("exchanges"));
+    pcfg.round_interval_us = cli.i64("interval-us");
+    // Pinning reference+probes onto fewer CPUs than threads only adds
+    // scheduler noise; pin only when each participant can own a CPU.
+    pcfg.pin_threads = hardware_threads() > mcfg.nodes;
+
+    std::vector<std::function<std::int64_t()>> clocks;
+    for (unsigned n = 0; n < sim.nodes(); ++n)
+        clocks.emplace_back([&sim, n]() -> std::int64_t {
+            return static_cast<std::int64_t>(sim.read(n));
+        });
+
+    const auto rounds = csync::run_sync_probe(clocks, pcfg);
+
+    Table t("Figure 1 series (MMTimer ticks, 20 MHz)");
+    t.set_header({"round", "max|offset|", "max error", "max(error+|offset|)"});
+    std::vector<double> offsets, errors, bounds;
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        const auto& row = rounds[r];
+        t.add_row({Table::num(static_cast<std::uint64_t>(r)),
+                   Table::num(row.max_abs_offset, 1), Table::num(row.max_error, 1),
+                   Table::num(row.max_error_plus_offset, 1)});
+        offsets.push_back(row.max_abs_offset);
+        errors.push_back(row.max_error);
+        bounds.push_back(row.max_error_plus_offset);
+    }
+    // Medians are robust against scheduler-preemption spikes (a descheduled
+    // probe mid-exchange produces a huge, honest-but-useless window). The
+    // paper ran on dedicated CPUs; CI hosts are noisy.
+    const auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v.empty() ? 0.0 : v[v.size() / 2];
+    };
+    const double med_off = median(offsets);
+    const double med_err = median(errors);
+    const double med_bound = median(bounds);
+
+    std::int64_t true_span = 0;
+    for (unsigned n = 0; n < sim.nodes(); ++n)
+        true_span = std::max(true_span, std::abs(sim.node_offset(n)));
+    t.add_note("true injected offset span: " + std::to_string(true_span) +
+               " ticks");
+    t.add_note("median bound (err+|off|): " + Table::num(med_bound, 1) +
+               " ticks (paper estimated ~90 for the real device)");
+    t.print(std::cout);
+
+    // With the hardware-synchronized default, measured offsets stay below
+    // the measurement error -- the paper's "errors are always larger than
+    // offsets". With large injected offsets this deliberately fails.
+    const bool error_dominates = med_err + 1e-9 >= med_off;
+    const bool bound_sound = med_bound + 1.0 >= static_cast<double>(true_span);
+    const double first_med = median(std::vector<double>(
+        offsets.begin(), offsets.begin() + static_cast<long>(offsets.size() / 2)));
+    const double second_med = median(std::vector<double>(
+        offsets.begin() + static_cast<long>(offsets.size() / 2), offsets.end()));
+    const bool no_drift = second_med <= first_med + med_err + 1.0;
+    std::printf("\nSHAPE-CHECK error>=offset (medians): %s\n",
+                error_dominates ? "PASS" : "FAIL");
+    std::printf("SHAPE-CHECK estimated bound covers true offsets: %s\n",
+                bound_sound ? "PASS" : "FAIL");
+    std::printf("SHAPE-CHECK no drift across the run: %s\n",
+                no_drift ? "PASS" : "FAIL");
+    return (error_dominates && bound_sound && no_drift) ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Transaction-level microbenchmarks (google-benchmark): the per-operation
+// costs that compose into every Figure-2 point -- read-only transactions of
+// various footprints, update transactions, read-after-write, and the
+// incremental cost of one more access. Run per time base to see where the
+// time base enters the critical path (start + commit only).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lsa_stm.hpp"
+#include "timebase/perfect_clock.hpp"
+#include "timebase/shared_counter.hpp"
+
+namespace {
+
+using namespace chronostm;
+
+template <typename TB>
+struct Rig {
+    TB tbase;
+    LsaStm<TB> stm{tbase};
+    std::vector<std::unique_ptr<TVar<long, TB>>> vars;
+
+    explicit Rig(std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            vars.push_back(std::make_unique<TVar<long, TB>>(1));
+    }
+};
+
+template <typename TB>
+void bm_readonly_txn(benchmark::State& state) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    Rig<TB> rig(reads);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        long sum = ctx.run([&](Transaction<TB>& tx) {
+            long s = 0;
+            for (auto& v : rig.vars) s += v->get(tx);
+            return s;
+        });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
+}
+
+template <typename TB>
+void bm_update_txn(benchmark::State& state) {
+    const auto writes = static_cast<std::size_t>(state.range(0));
+    Rig<TB> rig(writes);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](Transaction<TB>& tx) {
+            for (auto& v : rig.vars) v->set(tx, v->get(tx) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
+}
+
+template <typename TB>
+void bm_read_after_write(benchmark::State& state) {
+    Rig<TB> rig(1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        long v = ctx.run([&](Transaction<TB>& tx) {
+            rig.vars[0]->set(tx, 7);
+            long s = 0;
+            for (int i = 0; i < 8; ++i) s += rig.vars[0]->get(tx);
+            return s;
+        });
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+using Counter = tb::SharedCounterTimeBase;
+using Clock = tb::PerfectClockTimeBase;
+
+void BM_ReadOnly_Counter(benchmark::State& s) { bm_readonly_txn<Counter>(s); }
+void BM_ReadOnly_Clock(benchmark::State& s) { bm_readonly_txn<Clock>(s); }
+void BM_Update_Counter(benchmark::State& s) { bm_update_txn<Counter>(s); }
+void BM_Update_Clock(benchmark::State& s) { bm_update_txn<Clock>(s); }
+void BM_ReadAfterWrite_Counter(benchmark::State& s) {
+    bm_read_after_write<Counter>(s);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadOnly_Counter)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_ReadOnly_Clock)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Update_Counter)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Update_Clock)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_ReadAfterWrite_Counter);
+
+BENCHMARK_MAIN();

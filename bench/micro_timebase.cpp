@@ -1,0 +1,85 @@
+// Microbenchmarks of the raw time-base operations (google-benchmark).
+// These are the numbers everything else in the paper derives from: getTime
+// and getNewTS cost per base, single-threaded and under thread contention.
+// Expected: counter get_new_ts degrades with threads (fetch_add on one
+// line); clock reads do not.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "timebase/ext_sync_clock.hpp"
+#include "timebase/mmtimer.hpp"
+#include "timebase/perfect_clock.hpp"
+#include "timebase/shared_counter.hpp"
+#include "timebase/tl2_shared_counter.hpp"
+
+namespace {
+
+using namespace chronostm;
+
+tb::SharedCounterTimeBase g_counter;
+tb::Tl2SharedCounterTimeBase g_tl2_counter;
+tb::PerfectClockTimeBase& perfect_clock() {
+    static tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
+    return tbase;
+}
+tb::MMTimerSim g_mmtimer_sim;
+tb::MMTimerClockTimeBase g_mmtimer{g_mmtimer_sim};
+
+tb::ExtSyncTimeBase& ext_sync() {
+    static tb::WallTimeSource src;
+    static tb::PerfectDevice d0(src, 1'000'000'000), d1(src, 1'000'000'000);
+    static auto tbase =
+        tb::ExtSyncTimeBase::with_static_params({&d0, &d1}, 0, 100);
+    return *tbase;
+}
+
+template <typename TB>
+void bm_get_time(benchmark::State& state, TB& tbase) {
+    auto clk = tbase.make_thread_clock();
+    for (auto _ : state) benchmark::DoNotOptimize(clk.get_time());
+}
+
+template <typename TB>
+void bm_get_new_ts(benchmark::State& state, TB& tbase) {
+    auto clk = tbase.make_thread_clock();
+    for (auto _ : state) benchmark::DoNotOptimize(clk.get_new_ts());
+}
+
+void BM_SharedCounter_GetTime(benchmark::State& s) { bm_get_time(s, g_counter); }
+void BM_SharedCounter_GetNewTs(benchmark::State& s) {
+    bm_get_new_ts(s, g_counter);
+}
+void BM_Tl2Counter_GetNewTs(benchmark::State& s) {
+    bm_get_new_ts(s, g_tl2_counter);
+}
+void BM_PerfectClock_GetTime(benchmark::State& s) {
+    bm_get_time(s, perfect_clock());
+}
+void BM_PerfectClock_GetNewTs(benchmark::State& s) {
+    bm_get_new_ts(s, perfect_clock());
+}
+void BM_MMTimer_GetTime(benchmark::State& s) { bm_get_time(s, g_mmtimer); }
+void BM_ExtSync_GetTime(benchmark::State& s) { bm_get_time(s, ext_sync()); }
+void BM_ExtSync_GetNewTs(benchmark::State& s) { bm_get_new_ts(s, ext_sync()); }
+
+}  // namespace
+
+// Single-threaded costs.
+BENCHMARK(BM_SharedCounter_GetTime);
+BENCHMARK(BM_SharedCounter_GetNewTs);
+BENCHMARK(BM_Tl2Counter_GetNewTs);
+BENCHMARK(BM_PerfectClock_GetTime);
+BENCHMARK(BM_PerfectClock_GetNewTs);
+BENCHMARK(BM_MMTimer_GetTime);
+BENCHMARK(BM_ExtSync_GetTime);
+BENCHMARK(BM_ExtSync_GetNewTs);
+
+// Contention scaling: the whole point of the paper in two benchmark lines.
+BENCHMARK(BM_SharedCounter_GetNewTs)->Threads(2)->UseRealTime();
+BENCHMARK(BM_Tl2Counter_GetNewTs)->Threads(2)->UseRealTime();
+BENCHMARK(BM_PerfectClock_GetTime)->Threads(2)->UseRealTime();
+BENCHMARK(BM_PerfectClock_GetNewTs)->Threads(2)->UseRealTime();
+
+BENCHMARK_MAIN();
