@@ -1,0 +1,558 @@
+// LSA-STM core: the Lazy Snapshot Algorithm engine, templated on the time
+// base (the paper's central claim is that the time base is a replaceable
+// component; everything time-related below goes through TB::ThreadClock and
+// TB::deviation()).
+//
+// Design, following the paper:
+//  * Each TVar carries a versioned lock word ("orec"): (version_ts << 1) |
+//    lock_bit. The version timestamp is the commit time of the current
+//    value.
+//  * Each TVar keeps a bounded history of old versions with validity
+//    ranges [from, until), so long read-only transactions can read a
+//    consistent-but-old snapshot instead of aborting (multi-version LSA;
+//    depth is StmConfig::max_versions).
+//  * A transaction maintains a snapshot interval [lower, upper]. Reads pick
+//    the most recent version valid at `upper`; when the current version is
+//    too new the snapshot is lazily extended to the present (validating the
+//    read set) before falling back to old versions.
+//  * Writes are buffered in a lazy write set; commit locks the write set in
+//    address order, draws one new timestamp from the time base, validates
+//    the read set, then publishes values with the new version timestamp.
+//  * With an externally synchronized time base, every version's validity
+//    range is shrunk at both ends by the pairwise stamp uncertainty (twice
+//    the published per-stamp deviation bound: both the version's stamp and
+//    the snapshot's stamp may be skewed) -- deviation only ever costs
+//    aborts, never correctness, because commit validation is exact (lock
+//    words, not clocks) and snapshot reads never admit a version unless it
+//    was committed, in true time, before the snapshot.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/pause.hpp"
+
+namespace chronostm {
+
+struct StmConfig {
+    // Versions kept per TVar including the current one; 1 = no history
+    // (TL2-like), larger values let long readers survive concurrent
+    // updates. Capped at detail::kMaxHistory + 1.
+    unsigned max_versions = 8;
+    // Lazy snapshot extension on reads that find a too-new current version.
+    bool read_extension = true;
+    // Commit helping (LSA-RT); consumed by stm/adapter.hpp when that layer
+    // lands -- the core always uses bounded spinning.
+    bool help_committers = true;
+    // Spins on a foreign lock before giving up and aborting.
+    unsigned lock_spin = 256;
+    // Bounded retry: run() throws after this many consecutive aborts.
+    unsigned max_retries = 1'000'000;
+};
+
+class TxStats {
+ public:
+    TxStats() = default;
+    TxStats(std::uint64_t commits, std::uint64_t aborts)
+        : commits_(commits), aborts_(aborts) {}
+
+    std::uint64_t commits() const { return commits_; }
+    std::uint64_t aborts() const { return aborts_; }
+
+ private:
+    std::uint64_t commits_ = 0;
+    std::uint64_t aborts_ = 0;
+};
+
+namespace detail {
+
+inline constexpr unsigned kMaxHistory = 16;
+
+struct AbortTx {};
+
+struct StatsBlock {
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> aborts{0};
+};
+
+// Exponential backoff with multiplicative-hash jitter; yields once the spin
+// budget is large so oversubscribed hosts make progress.
+inline void backoff(unsigned attempt, std::uint64_t seed) {
+    const unsigned shift = attempt < 10 ? attempt : 10;
+    std::uint64_t spins = (8ull << shift);
+    seed = (seed + attempt + 1) * 0x9E3779B97F4A7C15ull;
+    spins = spins / 2 + (seed % (spins + 1)) / 2;
+    if (spins > 4096) {
+        std::this_thread::yield();
+        spins = 4096;
+    }
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+}
+
+}  // namespace detail
+
+template <typename TB>
+class Transaction;
+template <typename TB>
+class ThreadContext;
+template <typename TB>
+class LsaStm;
+template <typename T, typename TB>
+class TVar;
+
+// Untyped base so transactions can track read/write sets across TVar<T>
+// instantiations. The lock word is the only shared-memory rendezvous point:
+// (version_ts << 1) | lock_bit.
+template <typename TB>
+class TVarBase {
+ public:
+    TVarBase() = default;
+    TVarBase(const TVarBase&) = delete;
+    TVarBase& operator=(const TVarBase&) = delete;
+    virtual ~TVarBase() = default;
+
+ protected:
+    friend class Transaction<TB>;
+    std::atomic<std::uint64_t> vlock_{0};
+};
+
+template <typename T, typename TB>
+class TVar : public TVarBase<TB> {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "TVar<T> requires a trivially copyable T: values are read "
+                  "optimistically under a seqlock");
+
+ public:
+    explicit TVar(T initial) : value_(initial) {}
+
+    T get(Transaction<TB>& tx) { return tx.read(*this); }
+    void set(Transaction<TB>& tx, T v) { tx.write(*this, std::move(v)); }
+
+    // Non-transactional read for post-run invariant checks (quiesced state
+    // only: racy by construction while transactions run).
+    T unsafe_peek() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+    friend class Transaction<TB>;
+
+    // Old versions live in a ring written only while the lock bit is held;
+    // readers snapshot entries and recheck vlock_ to detect slot reuse.
+    struct OldVersion {
+        std::atomic<T> value{};
+        std::atomic<std::uint64_t> from{0};
+        std::atomic<std::uint64_t> until{0};
+    };
+
+    // Called by the committing transaction with the lock bit held. The
+    // release fence keeps the (earlier) lock-bit store visible before any
+    // of the data stores below on weakly-ordered hardware, so a reader
+    // that observes new data and then rechecks the lock word is guaranteed
+    // to see the lock (or the final version) -- the other half of the
+    // seqlock lives in Transaction::read / read_old_version.
+    void commit_write(const T& v, std::uint64_t new_ts, unsigned keep_old) {
+        std::atomic_thread_fence(std::memory_order_release);
+        const std::uint64_t old_ts =
+            this->vlock_.load(std::memory_order_relaxed) >> 1;
+        if (keep_old > 0) {
+            const unsigned head =
+                (hist_head_.load(std::memory_order_relaxed) + 1) %
+                detail::kMaxHistory;
+            auto& slot = hist_[head];
+            slot.value.store(value_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+            slot.from.store(old_ts, std::memory_order_relaxed);
+            slot.until.store(new_ts, std::memory_order_relaxed);
+            hist_head_.store(head, std::memory_order_release);
+            const unsigned cap = std::min(keep_old, detail::kMaxHistory);
+            const unsigned sz = hist_size_.load(std::memory_order_relaxed);
+            hist_size_.store(std::min(sz + 1, cap), std::memory_order_release);
+        } else {
+            hist_size_.store(0, std::memory_order_release);
+        }
+        value_.store(v, std::memory_order_relaxed);
+        this->vlock_.store(new_ts << 1, std::memory_order_release);
+    }
+
+    std::atomic<T> value_;
+    std::array<OldVersion, detail::kMaxHistory> hist_{};
+    std::atomic<unsigned> hist_head_{0};
+    std::atomic<unsigned> hist_size_{0};
+};
+
+template <typename TB>
+class Transaction {
+ public:
+    using Clock = typename TB::ThreadClock;
+
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    // Explicit early abort: unwinds out of the user lambda; run() retries.
+    [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+    std::uint64_t snapshot_lower() const { return lower_; }
+    std::uint64_t snapshot_upper() const { return upper_; }
+
+ private:
+    friend class ThreadContext<TB>;
+    template <typename T, typename TB2>
+    friend class TVar;
+
+    struct ReadEntry {
+        TVarBase<TB>* var;
+        std::uint64_t word;  // unlocked lock word observed at read time
+    };
+
+    struct WriteRecBase {
+        TVarBase<TB>* var;
+        std::uint64_t locked_word = 0;
+        explicit WriteRecBase(TVarBase<TB>* v) : var(v) {}
+        virtual ~WriteRecBase() = default;
+        virtual void apply(std::uint64_t new_ts, unsigned keep_old) = 0;
+    };
+
+    template <typename T>
+    struct WriteRec : WriteRecBase {
+        TVar<T, TB>* tvar;
+        T value;
+        WriteRec(TVar<T, TB>* v, T val)
+            : WriteRecBase(v), tvar(v), value(std::move(val)) {}
+        void apply(std::uint64_t new_ts, unsigned keep_old) override {
+            tvar->commit_write(value, new_ts, keep_old);
+        }
+    };
+
+    Transaction(Clock& clk, const StmConfig& cfg, std::uint64_t dev)
+        : clk_(clk), cfg_(cfg), dev_(dev) {
+        upper_ = clk_.get_time();
+        upper_cap_ = ~std::uint64_t{0};
+    }
+
+    template <typename T>
+    T read(TVar<T, TB>& var) {
+        if (auto* rec = find_write(&var))
+            return static_cast<WriteRec<T>*>(rec)->value;
+
+        unsigned lock_spins = 0;
+        for (;;) {
+            const std::uint64_t w1 =
+                var.vlock_.load(std::memory_order_acquire);
+            if (w1 & 1u) {
+                if (++lock_spins > cfg_.lock_spin) throw detail::AbortTx{};
+                cpu_relax();
+                continue;
+            }
+            const std::uint64_t wv = w1 >> 1;
+            // Validity of the current version starts at wv, shrunk by the
+            // pairwise stamp uncertainty dev_.
+            if (wv + dev_ <= upper_) {
+                const T v = var.value_.load(std::memory_order_acquire);
+                // Seqlock recheck; the fence pairs with the release fence
+                // in commit_write so that seeing new data implies seeing
+                // the lock word that published it.
+                std::atomic_thread_fence(std::memory_order_acquire);
+                if (var.vlock_.load(std::memory_order_acquire) != w1)
+                    continue;  // raced with a commit; retry the read
+                lower_ = std::max(lower_, wv + dev_);
+                reads_.push_back(ReadEntry{&var, w1});
+                return v;
+            }
+            // Current version is newer than the snapshot. First choice:
+            // lazily extend the snapshot to the present.
+            if (cfg_.read_extension && try_extend()) continue;
+            // Fall back to an old version -- only useful to transactions
+            // that have not written yet (an update transaction must commit
+            // "in the present", which a stale snapshot cannot reach).
+            if (writes_.empty()) {
+                T v{};
+                if (read_old_version(var, w1, v)) return v;
+            }
+            throw detail::AbortTx{};
+        }
+    }
+
+    template <typename T>
+    void write(TVar<T, TB>& var, T v) {
+        if (auto* rec = find_write(&var)) {
+            static_cast<WriteRec<T>*>(rec)->value = std::move(v);
+            return;
+        }
+        writes_.push_back(
+            std::make_unique<WriteRec<T>>(&var, std::move(v)));
+        writes_sorted_ = false;
+    }
+
+    // Try to move `upper` to the present; all reads so far must still be
+    // the most recent versions (a changed or locked word means the
+    // extension would break snapshot consistency, so we refuse).
+    bool try_extend() {
+        std::uint64_t nu = clk_.get_time();
+        nu = std::min(nu, upper_cap_);
+        if (nu <= upper_) return false;
+        for (const auto& e : reads_) {
+            if (e.var->vlock_.load(std::memory_order_acquire) != e.word)
+                return false;
+        }
+        upper_ = nu;
+        return true;
+    }
+
+    // Search the version history of `var` for a version covering the
+    // snapshot; `w1` is the unlocked lock word the caller just observed.
+    template <typename T>
+    bool read_old_version(TVar<T, TB>& var, std::uint64_t w1, T& out) {
+        const unsigned n = var.hist_size_.load(std::memory_order_acquire);
+        const unsigned head = var.hist_head_.load(std::memory_order_acquire);
+        for (unsigned k = 0; k < n; ++k) {
+            const auto& slot =
+                var.hist_[(head + detail::kMaxHistory - k) %
+                          detail::kMaxHistory];
+            const std::uint64_t from =
+                slot.from.load(std::memory_order_acquire);
+            const std::uint64_t until =
+                slot.until.load(std::memory_order_acquire);
+            const T v = slot.value.load(std::memory_order_acquire);
+            std::atomic_thread_fence(std::memory_order_acquire);  // seqlock
+            if (var.vlock_.load(std::memory_order_acquire) != w1)
+                return false;  // history mutated under us; caller re-reads
+            // Valid over [from, until); shrink by the pairwise stamp
+            // uncertainty at both ends. Underflow guard: a range narrower
+            // than 2*dev+1 is unusable (this is exactly how sync error
+            // raises abort rates).
+            if (until < from || until - from < 2 * dev_ + 1) continue;
+            const std::uint64_t lo = from + dev_;
+            const std::uint64_t hi = until - 1 - dev_;
+            if (lo > upper_ || hi < lower_) continue;
+            lower_ = std::max(lower_, lo);
+            upper_ = std::min(upper_, hi);
+            upper_cap_ = std::min(upper_cap_, hi);
+            read_old_ = true;
+            out = v;
+            return true;
+        }
+        return false;
+    }
+
+    typename Transaction::WriteRecBase* find_write(TVarBase<TB>* var) {
+        for (auto& rec : writes_)
+            if (rec->var == var) return rec.get();
+        return nullptr;
+    }
+
+    bool owns_lock(TVarBase<TB>* var) const {
+        for (const auto& rec : writes_)
+            if (rec->var == var) return true;
+        return false;
+    }
+
+    // Commit protocol: lock write set in address order, draw the commit
+    // timestamp, validate reads, publish, unlock. Returns false on
+    // conflict (caller counts the abort and retries).
+    bool commit() {
+        if (writes_.empty()) return true;  // snapshot reads are consistent
+        // An update transaction that resorted to old versions cannot
+        // serialize at commit time.
+        if (read_old_) return false;
+
+        if (!writes_sorted_) {
+            std::sort(writes_.begin(), writes_.end(),
+                      [](const auto& a, const auto& b) {
+                          return a->var < b->var;
+                      });
+            writes_sorted_ = true;
+        }
+
+        std::size_t locked = 0;
+        for (; locked < writes_.size(); ++locked) {
+            auto& rec = writes_[locked];
+            std::uint64_t w = rec->var->vlock_.load(std::memory_order_relaxed);
+            unsigned spins = 0;
+            for (;;) {
+                if (w & 1u) {
+                    if (++spins > cfg_.lock_spin) {
+                        unlock_prefix(locked);
+                        return false;
+                    }
+                    cpu_relax();
+                    w = rec->var->vlock_.load(std::memory_order_relaxed);
+                    continue;
+                }
+                if (rec->var->vlock_.compare_exchange_weak(
+                        w, w | 1u, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    rec->locked_word = w;
+                    break;
+                }
+            }
+        }
+
+        const std::uint64_t commit_ts = clk_.get_new_ts();
+
+        for (const auto& e : reads_) {
+            const std::uint64_t cur =
+                e.var->vlock_.load(std::memory_order_acquire);
+            if (cur == e.word) continue;
+            if (cur == (e.word | 1u) && owns_lock(e.var)) continue;
+            unlock_prefix(writes_.size());
+            return false;
+        }
+        if (lower_ > commit_ts) {
+            unlock_prefix(writes_.size());
+            return false;
+        }
+
+        const unsigned keep_old =
+            cfg_.max_versions > 0
+                ? std::min(cfg_.max_versions - 1, detail::kMaxHistory)
+                : 0;
+        // One timestamp for the whole write set (stamping vars
+        // individually could tear the commit across the version history
+        // when the time base hands out tied stamps), bumped above every
+        // locked version for per-var monotonicity under TL2 sharing and
+        // coarse clocks.
+        std::uint64_t new_ts = commit_ts;
+        for (const auto& rec : writes_)
+            new_ts = std::max(new_ts, (rec->locked_word >> 1) + 1);
+        for (auto& rec : writes_) rec->apply(new_ts, keep_old);
+        return true;
+    }
+
+    void unlock_prefix(std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto& rec = writes_[i];
+            rec->var->vlock_.store(rec->locked_word,
+                                   std::memory_order_release);
+        }
+    }
+
+    Clock& clk_;
+    const StmConfig& cfg_;
+    std::uint64_t dev_;
+    std::uint64_t lower_ = 0;
+    std::uint64_t upper_ = 0;
+    std::uint64_t upper_cap_ = 0;
+    bool read_old_ = false;
+    bool writes_sorted_ = false;
+    std::vector<ReadEntry> reads_;
+    std::vector<std::unique_ptr<WriteRecBase>> writes_;
+};
+
+// Per-thread handle: owns a thread clock and a stats block registered with
+// the parent LsaStm. Movable; not thread-safe (one context per thread).
+template <typename TB>
+class ThreadContext {
+ public:
+    using Clock = typename TB::ThreadClock;
+
+    // Runs `f` as a transaction until it commits, with bounded retry and
+    // exponential backoff. `f` takes Transaction<TB>& and may return a
+    // value, which run() passes through from the committed attempt.
+    template <typename F>
+    auto run(F&& f) {
+        using R = std::invoke_result_t<F&, Transaction<TB>&>;
+        for (unsigned attempt = 0;; ++attempt) {
+            Transaction<TB> tx(clk_, cfg_, dev_);
+            try {
+                if constexpr (std::is_void_v<R>) {
+                    f(tx);
+                    if (tx.commit()) {
+                        stats_->commits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                        return;
+                    }
+                } else {
+                    R r = f(tx);
+                    if (tx.commit()) {
+                        stats_->commits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                        return r;
+                    }
+                }
+            } catch (const detail::AbortTx&) {
+            }
+            stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+            if (attempt + 1 >= cfg_.max_retries)
+                throw std::runtime_error(
+                    "chronostm: transaction exceeded retry bound");
+            detail::backoff(attempt,
+                            reinterpret_cast<std::uintptr_t>(stats_.get()));
+        }
+    }
+
+    TxStats stats() const {
+        return TxStats(stats_->commits.load(std::memory_order_relaxed),
+                       stats_->aborts.load(std::memory_order_relaxed));
+    }
+
+ private:
+    friend class LsaStm<TB>;
+
+    ThreadContext(Clock clk, const StmConfig& cfg, std::uint64_t dev,
+                  std::shared_ptr<detail::StatsBlock> stats)
+        : clk_(std::move(clk)),
+          cfg_(cfg),
+          dev_(dev),
+          stats_(std::move(stats)) {}
+
+    Clock clk_;
+    StmConfig cfg_;
+    std::uint64_t dev_;
+    std::shared_ptr<detail::StatsBlock> stats_;
+};
+
+template <typename TB>
+class LsaStm {
+ public:
+    explicit LsaStm(TB& tbase, StmConfig cfg = StmConfig{})
+        : tbase_(tbase), cfg_(cfg) {
+        if (cfg_.max_versions == 0) cfg_.max_versions = 1;
+    }
+
+    LsaStm(const LsaStm&) = delete;
+    LsaStm& operator=(const LsaStm&) = delete;
+
+    ThreadContext<TB> make_context() {
+        auto block = std::make_shared<detail::StatsBlock>();
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            blocks_.push_back(block);
+        }
+        // The time base publishes each stamp's deviation from true time;
+        // the core compares stamps from two different clocks, so the
+        // pairwise uncertainty -- and the validity-range shrink -- is
+        // twice that bound.
+        return ThreadContext<TB>(tbase_.make_thread_clock(), cfg_,
+                                 2 * tbase_.deviation(), std::move(block));
+    }
+
+    // Aggregate commit/abort counts over every context ever created.
+    TxStats collected_stats() const {
+        std::uint64_t c = 0, a = 0;
+        std::lock_guard<std::mutex> g(mu_);
+        for (const auto& b : blocks_) {
+            c += b->commits.load(std::memory_order_relaxed);
+            a += b->aborts.load(std::memory_order_relaxed);
+        }
+        return TxStats(c, a);
+    }
+
+    const StmConfig& config() const { return cfg_; }
+    TB& time_base() { return tbase_; }
+
+ private:
+    TB& tbase_;
+    StmConfig cfg_;
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
+};
+
+}  // namespace chronostm

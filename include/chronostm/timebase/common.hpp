@@ -1,0 +1,74 @@
+// Shared plumbing for the time-base layer.
+//
+// Every time base models the same concept (paper Section 3: the time base is
+// a replaceable component of a time-based STM):
+//
+//   class SomeTimeBase {
+//     using ThreadClock = ...;
+//     ThreadClock make_thread_clock();      // per-thread access handle
+//     std::uint64_t deviation() const;      // sync-error bound, ts units
+//   };
+//   class ThreadClock {
+//     std::uint64_t get_time();             // current time, for snapshots
+//     std::uint64_t get_new_ts();           // fresh commit timestamp
+//   };
+//
+// Counter bases hand out raw counter values. Clock bases (perfect clock,
+// MMTimer, externally synchronized devices) cannot rely on the hardware to
+// produce distinct stamps for concurrent committers, so they widen raw
+// readings by kIdBits and tag get_new_ts stamps with a nonzero per-clock id:
+//
+//   get_time()   = raw << kIdBits            (id field zero)
+//   get_new_ts() = (raw << kIdBits) | id     (id in [1, kMaxClockIds])
+//
+// Two invariants the STM core depends on fall out of this layout:
+//  * a commit stamp taken at raw tick t is strictly greater than any
+//    get_time() observation at tick <= t (the id field is nonzero), which
+//    makes snapshot extension safe even on coarse clocks;
+//  * stamps from different thread clocks never collide as long as each
+//    clock bumps its raw reading monotonically (see monotonic_raw below).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/pause.hpp"
+
+namespace chronostm {
+namespace tb {
+
+inline constexpr unsigned kIdBits = 6;
+inline constexpr std::uint64_t kMaxClockIds = (1u << kIdBits) - 1;  // 63
+
+// Round-robin nonzero clock ids. Uniqueness of stamps is only guaranteed
+// while at most kMaxClockIds thread clocks of one time base are live, which
+// covers every driver in this repo; wrap-around degrades uniqueness, never
+// monotonicity.
+class ClockIdAllocator {
+ public:
+    std::uint64_t next() {
+        return (next_.fetch_add(1, std::memory_order_relaxed) % kMaxClockIds) +
+               1;
+    }
+
+ private:
+    std::atomic<std::uint64_t> next_{0};
+};
+
+// Per-thread monotonic bump: returns max(raw, last + 1) and remembers it, so
+// repeated get_new_ts calls within one coarse clock tick still move forward.
+class MonotonicRaw {
+ public:
+    std::uint64_t bump(std::uint64_t raw) {
+        if (raw <= last_) raw = last_ + 1;
+        last_ = raw;
+        return raw;
+    }
+
+ private:
+    std::uint64_t last_ = 0;
+};
+
+}  // namespace tb
+}  // namespace chronostm

@@ -1,0 +1,128 @@
+// Simulated SGI Altix MMTimer (paper Section 3.2 / 4.1): a multiprocessor
+// board timer, hardware-synchronized across nodes, with a fixed read
+// latency that dominates its cost (the paper measures ~7 ticks at 20 MHz,
+// i.e. ~350 ns per read -- slower than a counter load, but contention-free).
+//
+// MMTimerSim models the device: a global tick counter derived from the
+// host's monotonic clock at the configured frequency, optional static
+// per-node offsets (for the Figure-1 clock-sync experiments, where ground
+// truth must be known), and a busy-wait that reproduces the read latency.
+// MMTimerClockTimeBase is the time-base adapter over one simulated device;
+// thread clocks are assigned to nodes round-robin.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "timebase/common.hpp"
+
+namespace chronostm {
+namespace tb {
+
+class MMTimerSim {
+ public:
+    struct Params {
+        double freq_hz = 20e6;            // paper's 20 MHz board timer
+        unsigned read_latency_ticks = 7;  // ~350 ns per read
+        unsigned nodes = 1;
+        // Static per-node offset injected into readings, in ticks; node i
+        // gets +max on even i, -max on odd i. Ground truth for clock-sync
+        // experiments; zero models the hardware-synchronized device.
+        std::int64_t max_node_offset_ticks = 0;
+    };
+
+    MMTimerSim() : MMTimerSim(Params{}) {}
+    explicit MMTimerSim(const Params& p) : params_(p) {
+        if (params_.nodes == 0) params_.nodes = 1;
+        offsets_.reserve(params_.nodes);
+        for (unsigned i = 0; i < params_.nodes; ++i) {
+            offsets_.push_back((i % 2 == 0) ? params_.max_node_offset_ticks
+                                            : -params_.max_node_offset_ticks);
+        }
+        epoch_ = std::chrono::steady_clock::now();
+    }
+
+    // One timer read from `node`: pays the simulated read latency, then
+    // returns the global tick count shifted by the node's static offset.
+    std::uint64_t read(unsigned node) const {
+        spin_latency();
+        const auto off = offsets_[node % params_.nodes];
+        const std::int64_t ticks = static_cast<std::int64_t>(now_ticks()) + off;
+        return ticks > 0 ? static_cast<std::uint64_t>(ticks) : 0;
+    }
+
+    unsigned nodes() const { return params_.nodes; }
+    const Params& params() const { return params_; }
+    std::int64_t node_offset(unsigned node) const {
+        return offsets_[node % params_.nodes];
+    }
+
+ private:
+    std::uint64_t now_ticks() const {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - epoch_)
+                            .count();
+        return static_cast<std::uint64_t>(
+            static_cast<double>(ns) * params_.freq_hz / 1e9);
+    }
+
+    void spin_latency() const {
+        const auto latency = std::chrono::nanoseconds(static_cast<long>(
+            params_.read_latency_ticks / params_.freq_hz * 1e9));
+        const auto until = std::chrono::steady_clock::now() + latency;
+        while (std::chrono::steady_clock::now() < until) cpu_relax();
+    }
+
+    Params params_;
+    std::vector<std::int64_t> offsets_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+class MMTimerClockTimeBase {
+ public:
+    class ThreadClock {
+     public:
+        ThreadClock(const MMTimerSim* sim, unsigned node, std::uint64_t id)
+            : sim_(sim), node_(node), id_(id) {}
+
+        std::uint64_t get_time() const { return sim_->read(node_) << kIdBits; }
+
+        std::uint64_t get_new_ts() {
+            return (mono_.bump(sim_->read(node_)) << kIdBits) | id_;
+        }
+
+     private:
+        const MMTimerSim* sim_;
+        unsigned node_;
+        std::uint64_t id_;
+        MonotonicRaw mono_;
+    };
+
+    explicit MMTimerClockTimeBase(MMTimerSim& sim) : sim_(&sim) {}
+
+    ThreadClock make_thread_clock() {
+        const auto n = next_node_.fetch_add(1, std::memory_order_relaxed);
+        return ThreadClock(sim_, static_cast<unsigned>(n % sim_->nodes()),
+                           ids_.next());
+    }
+
+    // Published sync-error bound: the injected node offsets, in stamp units.
+    // Zero for the hardware-synchronized configuration the paper measures
+    // (its residual errors hide below the read latency).
+    std::uint64_t deviation() const {
+        const auto off = sim_->params().max_node_offset_ticks;
+        const std::uint64_t mag =
+            static_cast<std::uint64_t>(off < 0 ? -off : off);
+        return mag << kIdBits;
+    }
+
+ private:
+    const MMTimerSim* sim_;
+    std::atomic<std::uint64_t> next_node_{0};
+    ClockIdAllocator ids_;
+};
+
+}  // namespace tb
+}  // namespace chronostm

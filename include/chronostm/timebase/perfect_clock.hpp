@@ -1,0 +1,83 @@
+// "Perfect clock" time base (paper Section 3.2): a synchronized hardware
+// clock that every processor can read locally -- no shared cache line, so
+// get_new_ts scales with the processor count. On x86 we read the invariant
+// TSC; elsewhere (or on request) std::chrono::steady_clock stands in.
+//
+// Hardware clocks are coarse relative to concurrent committers, so stamps
+// follow the (raw << kIdBits) | id layout from timebase/common.hpp: get_time
+// leaves the id field zero and get_new_ts tags stamps with the per-clock id,
+// which keeps commit stamps unique and strictly above any earlier get_time
+// observation.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "timebase/common.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace chronostm {
+namespace tb {
+
+enum class PerfectSource {
+    Auto,    // TSC where available, steady_clock otherwise
+    Tsc,     // invariant rdtsc
+    Steady,  // std::chrono::steady_clock
+};
+
+class PerfectClockTimeBase {
+ public:
+    class ThreadClock {
+     public:
+        ThreadClock(PerfectSource src, std::uint64_t id)
+            : src_(src), id_(id) {}
+
+        std::uint64_t get_time() const { return read_raw() << kIdBits; }
+
+        std::uint64_t get_new_ts() {
+            return (mono_.bump(read_raw()) << kIdBits) | id_;
+        }
+
+     private:
+        std::uint64_t read_raw() const {
+#if defined(__x86_64__) || defined(__i386__)
+            if (src_ != PerfectSource::Steady) return __rdtsc();
+#endif
+            return static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count());
+        }
+
+        PerfectSource src_;
+        std::uint64_t id_;
+        MonotonicRaw mono_;
+    };
+
+    explicit PerfectClockTimeBase(PerfectSource src = PerfectSource::Auto)
+        : src_(resolve(src)) {}
+
+    ThreadClock make_thread_clock() { return ThreadClock(src_, ids_.next()); }
+
+    static constexpr std::uint64_t deviation() { return 0; }
+
+    PerfectSource source() const { return src_; }
+
+ private:
+    static PerfectSource resolve(PerfectSource src) {
+        if (src != PerfectSource::Auto) return src;
+#if defined(__x86_64__) || defined(__i386__)
+        return PerfectSource::Tsc;
+#else
+        return PerfectSource::Steady;
+#endif
+    }
+
+    PerfectSource src_;
+    ClockIdAllocator ids_;
+};
+
+}  // namespace tb
+}  // namespace chronostm

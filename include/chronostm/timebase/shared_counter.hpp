@@ -1,0 +1,49 @@
+// The paper's baseline time base: one shared integer counter (Section 3.1).
+// get_time is a plain load; get_new_ts is a fetch-and-increment. Stamps are
+// globally unique and totally ordered, but every committer serializes on a
+// single exclusive cache line -- the scalability wall the clock-based time
+// bases exist to remove.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "timebase/common.hpp"
+
+namespace chronostm {
+namespace tb {
+
+class SharedCounterTimeBase {
+ public:
+    class ThreadClock {
+     public:
+        explicit ThreadClock(std::atomic<std::uint64_t>* counter)
+            : counter_(counter) {}
+
+        std::uint64_t get_time() const {
+            return counter_->load(std::memory_order_acquire);
+        }
+
+        std::uint64_t get_new_ts() {
+            return counter_->fetch_add(1, std::memory_order_acq_rel) + 1;
+        }
+
+     private:
+        std::atomic<std::uint64_t>* counter_;
+    };
+
+    SharedCounterTimeBase() = default;
+    SharedCounterTimeBase(const SharedCounterTimeBase&) = delete;
+    SharedCounterTimeBase& operator=(const SharedCounterTimeBase&) = delete;
+
+    ThreadClock make_thread_clock() { return ThreadClock(&counter_); }
+
+    static constexpr std::uint64_t deviation() { return 0; }
+
+ private:
+    alignas(64) std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace tb
+}  // namespace chronostm

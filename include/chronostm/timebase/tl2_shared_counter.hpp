@@ -1,0 +1,76 @@
+// Shared counter with TL2-style timestamp sharing (paper Section 4.2: "an
+// optimization for the counter similar to the one used by TL2 showed no
+// advantages on our hardware").
+//
+// Instead of an unconditional fetch-and-increment, a committer attempts a
+// CAS; if the CAS fails because another committer just advanced the
+// counter, it adopts that freshly produced value instead of retrying. This
+// trades stamp uniqueness (two commits may share a timestamp, which a
+// time-based STM tolerates: ties are resolved by the per-object locks) for
+// one less RMW under contention.
+//
+// Stamps are still monotonic per thread: a failed CAS observes a counter
+// value at least one past the value loaded, which itself is at least the
+// previously returned stamp.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "timebase/common.hpp"
+
+namespace chronostm {
+namespace tb {
+
+class Tl2SharedCounterTimeBase {
+ public:
+    class ThreadClock {
+     public:
+        ThreadClock(std::atomic<std::uint64_t>* counter,
+                    std::atomic<std::uint64_t>* shares)
+            : counter_(counter), shares_(shares) {}
+
+        std::uint64_t get_time() const {
+            return counter_->load(std::memory_order_acquire);
+        }
+
+        std::uint64_t get_new_ts() {
+            std::uint64_t cur = counter_->load(std::memory_order_relaxed);
+            if (counter_->compare_exchange_strong(cur, cur + 1,
+                                                  std::memory_order_acq_rel)) {
+                return cur + 1;
+            }
+            // cur now holds a value >= (loaded value + 1) that some other
+            // committer just produced: share it.
+            shares_->fetch_add(1, std::memory_order_relaxed);
+            return cur;
+        }
+
+     private:
+        std::atomic<std::uint64_t>* counter_;
+        std::atomic<std::uint64_t>* shares_;
+    };
+
+    Tl2SharedCounterTimeBase() = default;
+    Tl2SharedCounterTimeBase(const Tl2SharedCounterTimeBase&) = delete;
+    Tl2SharedCounterTimeBase& operator=(const Tl2SharedCounterTimeBase&) =
+        delete;
+
+    ThreadClock make_thread_clock() { return ThreadClock(&counter_, &shares_); }
+
+    static constexpr std::uint64_t deviation() { return 0; }
+
+    // How often sharing actually triggered (the ablation in
+    // bench/tab_counter_opt.cpp reports this alongside throughput).
+    std::uint64_t shared_stamps() const {
+        return shares_.load(std::memory_order_relaxed);
+    }
+
+ private:
+    alignas(64) std::atomic<std::uint64_t> counter_{0};
+    alignas(64) std::atomic<std::uint64_t> shares_{0};
+};
+
+}  // namespace tb
+}  // namespace chronostm

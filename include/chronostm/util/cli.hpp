@@ -1,0 +1,141 @@
+// Minimal flag parser shared by all bench drivers: typed flags with
+// defaults and help text, parsed from --name=value or --name value.
+// parse() returns false after printing help (drivers then exit 0); unknown
+// flags and malformed values throw std::runtime_error.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace chronostm {
+
+class Cli {
+ public:
+    explicit Cli(std::string description)
+        : description_(std::move(description)) {}
+
+    Cli& flag_i64(std::string name, long long def, std::string help) {
+        flags_.push_back(Flag{std::move(name), std::move(help), Flag::kI64,
+                              def, 0.0, std::string()});
+        return *this;
+    }
+
+    Cli& flag_f64(std::string name, double def, std::string help) {
+        flags_.push_back(Flag{std::move(name), std::move(help), Flag::kF64, 0,
+                              def, std::string()});
+        return *this;
+    }
+
+    Cli& flag_str(std::string name, std::string def, std::string help) {
+        flags_.push_back(Flag{std::move(name), std::move(help), Flag::kStr, 0,
+                              0.0, std::move(def)});
+        return *this;
+    }
+
+    // Returns false when --help/-h was requested (help already printed).
+    bool parse(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                print_help(argv[0]);
+                return false;
+            }
+            if (arg.rfind("--", 0) != 0)
+                throw std::runtime_error("unexpected argument: " + arg);
+            std::string name = arg.substr(2);
+            std::string value;
+            const auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+            } else {
+                if (!declared(name))
+                    throw std::runtime_error("unknown flag: --" + name);
+                if (i + 1 >= argc)
+                    throw std::runtime_error("missing value for --" + name);
+                value = argv[++i];
+            }
+            set(name, value);
+        }
+        return true;
+    }
+
+    long long i64(const std::string& name) const {
+        return find(name, Flag::kI64).i64;
+    }
+    double f64(const std::string& name) const {
+        return find(name, Flag::kF64).f64;
+    }
+    const std::string& str(const std::string& name) const {
+        return find(name, Flag::kStr).str;
+    }
+
+ private:
+    struct Flag {
+        std::string name;
+        std::string help;
+        enum Kind { kI64, kF64, kStr } kind;
+        long long i64;
+        double f64;
+        std::string str;
+    };
+
+    bool declared(const std::string& name) const {
+        for (const auto& f : flags_)
+            if (f.name == name) return true;
+        return false;
+    }
+
+    void set(const std::string& name, const std::string& value) {
+        for (auto& f : flags_) {
+            if (f.name != name) continue;
+            try {
+                switch (f.kind) {
+                    case Flag::kI64: f.i64 = std::stoll(value); break;
+                    case Flag::kF64: f.f64 = std::stod(value); break;
+                    case Flag::kStr: f.str = value; break;
+                }
+            } catch (const std::exception&) {
+                throw std::runtime_error("bad value for --" + name + ": " +
+                                         value);
+            }
+            return;
+        }
+        throw std::runtime_error("unknown flag: --" + name);
+    }
+
+    const Flag& find(const std::string& name, int kind) const {
+        for (const auto& f : flags_)
+            if (f.name == name && f.kind == kind) return f;
+        throw std::logic_error("flag not declared: --" + name);
+    }
+
+    void print_help(const char* prog) const {
+        std::printf("%s\n\nusage: %s [--flag value | --flag=value]...\n\n",
+                    description_.c_str(), prog);
+        for (const auto& f : flags_) {
+            std::string def;
+            switch (f.kind) {
+                case Flag::kI64: def = std::to_string(f.i64); break;
+                case Flag::kF64: {
+                    char buf[64];
+                    std::snprintf(buf, sizeof buf, "%g", f.f64);
+                    def = buf;
+                    break;
+                }
+                case Flag::kStr: def = f.str; break;
+            }
+            std::printf("  --%-16s %s (default: %s)\n", f.name.c_str(),
+                        f.help.c_str(), def.c_str());
+        }
+    }
+
+    std::string description_;
+    std::vector<Flag> flags_;
+};
+
+}  // namespace chronostm

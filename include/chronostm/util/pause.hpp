@@ -1,0 +1,19 @@
+// Spin-wait hint shared by the timebase and core layers.
+
+#pragma once
+
+#include <atomic>
+
+namespace chronostm {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace chronostm

@@ -1,0 +1,35 @@
+// Small fast PRNG for workload drivers (xorshift64*): deterministic per
+// seed, no <random> template bloat on hot paths.
+
+#pragma once
+
+#include <cstdint>
+
+namespace chronostm {
+
+class Rng {
+ public:
+    explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B9ull) {}
+
+    std::uint64_t next() {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    // Uniform in [0, n); n must be nonzero.
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+    // Uniform in [0, 1).
+    double real01() {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+ private:
+    std::uint64_t state_;
+};
+
+}  // namespace chronostm

@@ -1,0 +1,86 @@
+// Fixed-width ASCII tables for bench output: a title, a header row, data
+// rows, and optional footnotes. Cells are preformatted strings; Table::num
+// formats the numbers consistently across drivers.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chronostm {
+
+class Table {
+ public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void set_header(std::vector<std::string> header) {
+        header_ = std::move(header);
+    }
+
+    void add_row(std::vector<std::string> row) {
+        rows_.push_back(std::move(row));
+    }
+
+    void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+    static std::string num(double v, int precision) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+        return buf;
+    }
+
+    static std::string num(std::uint64_t v) { return std::to_string(v); }
+
+    void print(std::ostream& os) const {
+        std::vector<std::size_t> widths(header_.size(), 0);
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            widths[c] = header_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        os << title_ << '\n';
+        print_rule(os, widths);
+        print_row(os, header_, widths);
+        print_rule(os, widths);
+        for (const auto& row : rows_) print_row(os, row, widths);
+        print_rule(os, widths);
+        for (const auto& note : notes_) os << "  note: " << note << '\n';
+    }
+
+ private:
+    static void print_rule(std::ostream& os,
+                           const std::vector<std::size_t>& widths) {
+        os << '+';
+        for (const auto w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+            os << '+';
+        }
+        os << '\n';
+    }
+
+    static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                          const std::vector<std::size_t>& widths) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : empty_;
+            os << ' ';
+            for (std::size_t i = cell.size(); i < widths[c]; ++i) os << ' ';
+            os << cell << " |";
+        }
+        os << '\n';
+    }
+
+    static inline const std::string empty_{};
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+}  // namespace chronostm

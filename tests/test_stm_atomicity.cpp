@@ -1,0 +1,93 @@
+// Tier-1 STM semantics: atomicity of concurrent bank-style transfers.
+// 8 threads move money between 32 accounts through transactions; if any
+// transfer is torn or lost the total changes. Run over three distinct time
+// bases to exercise the pluggable layer, and cross-check the commit count
+// against the work actually submitted.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/lsa_stm.hpp"
+#include "timebase/ext_sync_clock.hpp"
+#include "timebase/perfect_clock.hpp"
+#include "timebase/shared_counter.hpp"
+#include "util/rng.hpp"
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+constexpr unsigned kThreads = 8;
+constexpr int kAccounts = 32;
+constexpr long kInitial = 100;
+constexpr int kTransfersPerThread = 3000;
+
+template <typename TB>
+void check_bank(TB& tbase, const char* name) {
+    LsaStm<TB> stm(tbase);
+    std::vector<std::unique_ptr<TVar<long, TB>>> acct;
+    for (int i = 0; i < kAccounts; ++i)
+        acct.push_back(std::make_unique<TVar<long, TB>>(kInitial));
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&stm, &acct, t] {
+            auto ctx = stm.make_context();
+            Rng rng(t * 977 + 11);
+            for (int i = 0; i < kTransfersPerThread; ++i) {
+                const auto a = rng.below(kAccounts);
+                auto b = rng.below(kAccounts);
+                if (a == b) b = (b + 1) % kAccounts;
+                const long amount = static_cast<long>(rng.below(10)) + 1;
+                ctx.run([&](Transaction<TB>& tx) {
+                    acct[a]->set(tx, acct[a]->get(tx) - amount);
+                    acct[b]->set(tx, acct[b]->get(tx) + amount);
+                });
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    long total = 0;
+    for (const auto& a : acct) total += a->unsafe_peek();
+    CHECK_MSG(total == kInitial * kAccounts, "time base %s: total %ld", name,
+              total);
+
+    const auto stats = stm.collected_stats();
+    CHECK_MSG(stats.commits() ==
+                  static_cast<std::uint64_t>(kThreads) * kTransfersPerThread,
+              "time base %s: commits %llu", name,
+              static_cast<unsigned long long>(stats.commits()));
+}
+
+}  // namespace
+
+int main() {
+    {
+        tb::SharedCounterTimeBase tbase;
+        check_bank(tbase, "SharedCounter");
+    }
+    {
+        tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
+        check_bank(tbase, "PerfectClock");
+    }
+    {
+        static tb::WallTimeSource src;
+        static std::vector<std::unique_ptr<tb::PerfectDevice>> devs;
+        std::vector<tb::ClockDevice*> ptrs;
+        for (unsigned i = 0; i < kThreads; ++i) {
+            devs.push_back(
+                std::make_unique<tb::PerfectDevice>(src, 1'000'000'000));
+            ptrs.push_back(devs.back().get());
+        }
+        // A fat 10us deviation bound: hurts freshness, never atomicity.
+        auto tbase = tb::ExtSyncTimeBase::with_static_params(ptrs, 0, 10'000);
+        check_bank(*tbase, "ExtSync(dev=10us)");
+    }
+    std::printf("test_stm_atomicity: PASS\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Tier-1 STM semantics: abort-and-retry on a write-write conflict,
+// deterministically staged. Transaction 1 reads the variable, then parks
+// while transaction 2 commits a conflicting update; transaction 1's commit
+// must fail validation, and the automatic retry must observe the new value
+// and commit. Also checks the retry bound is enforceable configuration.
+
+#include <atomic>
+#include <thread>
+
+#include "core/lsa_stm.hpp"
+#include "timebase/shared_counter.hpp"
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+using TB = tb::SharedCounterTimeBase;
+using Tx = Transaction<TB>;
+
+void spin_until(const std::atomic<bool>& flag) {
+    while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+}
+
+}  // namespace
+
+int main() {
+    TB tbase;
+    LsaStm<TB> stm(tbase);
+    TVar<long, TB> v(0);
+
+    std::atomic<bool> t1_read_done{false};
+    std::atomic<bool> t2_committed{false};
+    int attempts = 0;
+    long seen_first = -1, seen_second = -1;
+
+    std::thread t2([&] {
+        auto ctx = stm.make_context();
+        spin_until(t1_read_done);
+        ctx.run([&](Tx& tx) { v.set(tx, v.get(tx) + 1); });
+        t2_committed.store(true, std::memory_order_release);
+    });
+
+    auto ctx = stm.make_context();
+    ctx.run([&](Tx& tx) {
+        ++attempts;
+        const long cur = v.get(tx);
+        if (attempts == 1) {
+            seen_first = cur;
+            t1_read_done.store(true, std::memory_order_release);
+            spin_until(t2_committed);
+        } else {
+            seen_second = cur;
+        }
+        v.set(tx, cur + 1);
+    });
+    t2.join();
+
+    CHECK_MSG(attempts == 2, "attempts %d", attempts);
+    CHECK(seen_first == 0);
+    CHECK(seen_second == 1);  // the retry saw transaction 2's update
+    CHECK(v.unsafe_peek() == 2);
+    CHECK(ctx.stats().aborts() == 1);
+    CHECK(ctx.stats().commits() == 1);
+    CHECK(stm.collected_stats().commits() == 2);
+
+    // The bounded-retry knob: a transaction that can never commit within
+    // the bound surfaces as an error instead of spinning forever.
+    {
+        tb::SharedCounterTimeBase tb2;
+        StmConfig cfg;
+        cfg.max_retries = 3;
+        LsaStm<TB> stm2(tb2, cfg);
+        TVar<long, TB> w(0);
+        auto c2 = stm2.make_context();
+        bool threw = false;
+        try {
+            c2.run([&](Tx& tx) {
+                (void)w.get(tx);
+                tx.abort();  // user-directed abort on every attempt
+            });
+        } catch (const std::runtime_error&) {
+            threw = true;
+        }
+        CHECK(threw);
+        CHECK(c2.stats().aborts() == 3);
+    }
+
+    std::printf("test_stm_conflict_retry: PASS\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Tier-1: per-thread monotonicity of every time base. Each of 8 threads
+// draws a stream of stamps from its own thread clock; get_new_ts must be
+// strictly increasing within a thread for every base, and get_time
+// observations interleaved with them must never exceed a later commit
+// stamp from the same clock.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "timebase/ext_sync_clock.hpp"
+#include "timebase/mmtimer.hpp"
+#include "timebase/perfect_clock.hpp"
+#include "timebase/shared_counter.hpp"
+#include "timebase/tl2_shared_counter.hpp"
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+constexpr unsigned kThreads = 8;
+
+template <typename TB>
+void check_monotonic(TB& tbase, int stamps_per_thread, const char* name) {
+    std::vector<std::thread> threads;
+    std::vector<int> ok(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tbase, &ok, t, stamps_per_thread] {
+            auto clk = tbase.make_thread_clock();
+            std::uint64_t prev_ts = 0;
+            bool good = true;
+            for (int i = 0; i < stamps_per_thread; ++i) {
+                const std::uint64_t now = clk.get_time();
+                const std::uint64_t ts = clk.get_new_ts();
+                good = good && (i == 0 || ts > prev_ts) && (now <= ts);
+                prev_ts = ts;
+            }
+            ok[t] = good ? 1 : 0;
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        CHECK_MSG(ok[t] == 1, "time base %s, thread %u", name, t);
+}
+
+}  // namespace
+
+int main() {
+    {
+        tb::SharedCounterTimeBase tbase;
+        check_monotonic(tbase, 20000, "SharedCounter");
+    }
+    {
+        tb::Tl2SharedCounterTimeBase tbase;
+        check_monotonic(tbase, 20000, "Tl2SharedCounter");
+    }
+    {
+        tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
+        check_monotonic(tbase, 20000, "PerfectClock(Auto)");
+    }
+    {
+        tb::PerfectClockTimeBase tbase(tb::PerfectSource::Steady);
+        check_monotonic(tbase, 20000, "PerfectClock(Steady)");
+    }
+    {
+        // Few stamps: every MMTimer read pays the simulated ~350ns latency.
+        tb::MMTimerSim sim;
+        tb::MMTimerClockTimeBase tbase(sim);
+        check_monotonic(tbase, 500, "MMTimer");
+    }
+    {
+        static tb::WallTimeSource src;
+        static tb::PerfectDevice d0(src, 1'000'000'000), d1(src, 1'000'000'000);
+        auto tbase = tb::ExtSyncTimeBase::with_static_params({&d0, &d1}, 0, 100);
+        check_monotonic(*tbase, 20000, "ExtSync");
+    }
+    std::printf("test_timebase_monotonic: PASS\n");
+    return 0;
+}

@@ -1,0 +1,25 @@
+// Tiny assertion harness for the tier-1 unit tests: no framework
+// dependency, exits nonzero on first failure with file:line context.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,   \
+                         __LINE__, #cond);                                  \
+            std::exit(1);                                                   \
+        }                                                                   \
+    } while (0)
+
+#define CHECK_MSG(cond, fmt, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::fprintf(stderr, "CHECK failed at %s:%d: %s (" fmt ")\n",   \
+                         __FILE__, __LINE__, #cond, __VA_ARGS__);           \
+            std::exit(1);                                                   \
+        }                                                                   \
+    } while (0)
