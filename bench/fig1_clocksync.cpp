@@ -16,11 +16,11 @@
 #include <functional>
 #include <vector>
 
-#include "clocksync/sync_probe.hpp"
-#include "timebase/mmtimer.hpp"
-#include "util/affinity.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include <chronostm/clocksync/sync_probe.hpp>
+#include <chronostm/timebase/mmtimer.hpp>
+#include <chronostm/util/affinity.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
 
 using namespace chronostm;
 

@@ -15,10 +15,10 @@
 #include <iostream>
 #include <vector>
 
-#include "simnuma/machine.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/simnuma/machine.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

@@ -19,15 +19,15 @@
 #include <memory>
 #include <vector>
 
-#include "stm/adapter.hpp"
-#include "timebase/mmtimer.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
-#include "util/affinity.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "workload/disjoint.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/mmtimer.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/util/affinity.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/disjoint.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

@@ -9,9 +9,9 @@
 #include <memory>
 #include <vector>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
 
 namespace {
 

@@ -9,12 +9,12 @@
 #include <memory>
 #include <vector>
 
-#include "stm/adapter.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "workload/bank.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/bank.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

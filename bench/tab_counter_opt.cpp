@@ -13,15 +13,15 @@
 #include <memory>
 #include <vector>
 
-#include "stm/adapter.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
-#include "timebase/tl2_shared_counter.hpp"
-#include "util/affinity.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "workload/disjoint.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/timebase/tl2_shared_counter.hpp>
+#include <chronostm/util/affinity.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/disjoint.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

@@ -12,14 +12,14 @@
 #include <memory>
 #include <vector>
 
-#include "stm/adapter.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "util/affinity.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "workload/bank.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/util/affinity.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/rng.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/bank.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

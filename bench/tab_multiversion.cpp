@@ -14,11 +14,11 @@
 #include <thread>
 #include <vector>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/rng.hpp>
+#include <chronostm/util/table.hpp>
 
 using namespace chronostm;
 

@@ -16,14 +16,14 @@
 #include <memory>
 #include <vector>
 
-#include "stm/adapter.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "workload/bank.hpp"
-#include "workload/intset_hash.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/bank.hpp>
+#include <chronostm/workload/intset_hash.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 
@@ -59,7 +59,8 @@ double bench_hashset(A& adapter, unsigned threads, double duration_ms) {
 }
 
 template <typename A>
-double bench_audit(A& adapter, unsigned threads, double duration_ms) {
+double bench_audit(A& adapter, unsigned threads, double duration_ms,
+                   bool& conserved) {
     wl::Bank<A> bank(128, 100);
     wl::RunSpec spec;
     spec.threads = threads;
@@ -78,6 +79,11 @@ double bench_audit(A& adapter, unsigned threads, double duration_ms) {
             }
         };
     });
+    if (bank.unsafe_total() != bank.expected_total()) {
+        std::fprintf(stderr, "conservation FAILED: total %ld != %ld\n",
+                     bank.unsafe_total(), bank.expected_total());
+        conserved = false;
+    }
     // Only the auditor threads' completed audits count -- mixing in the
     // writer's (much cheaper) transfers would swamp the metric.
     std::uint64_t audits = 0;
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
     t.set_header({"system", "hash-set Mtx/s", "audits k/s"});
 
     double lsa_audit = 0, vstm_always_audit = 0, vstm_cc_audit = 0;
+    bool conserved = true;
 
     {
         tb::SharedCounterTimeBase tbase;
@@ -114,7 +121,7 @@ int main(int argc, char** argv) {
         const double hs = bench_hashset(a, threads, duration);
         tb::SharedCounterTimeBase tbase2;
         stm::LsaAdapter<tb::SharedCounterTimeBase> a2(tbase2);
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         lsa_audit = au;
         t.add_row({"LSA-RT/SharedCounter", Table::num(hs, 3), Table::num(au, 1)});
     }
@@ -124,21 +131,21 @@ int main(int argc, char** argv) {
         const double hs = bench_hashset(a, threads, duration);
         tb::PerfectClockTimeBase tbase2(tb::PerfectSource::Auto);
         stm::LsaAdapter<tb::PerfectClockTimeBase> a2(tbase2);
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         t.add_row({"LSA-RT/HardwareClock", Table::num(hs, 3), Table::num(au, 1)});
     }
     {
         stm::Tl2Adapter a;
         const double hs = bench_hashset(a, threads, duration);
         stm::Tl2Adapter a2;
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         t.add_row({"TL2", Table::num(hs, 3), Table::num(au, 1)});
     }
     {
         stm::VstmAdapter a;  // commit-counter heuristic on
         const double hs = bench_hashset(a, threads, duration);
         stm::VstmAdapter a2;
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         vstm_cc_audit = au;
         t.add_row({"VSTM/cc-heuristic", Table::num(hs, 3), Table::num(au, 1)});
     }
@@ -148,7 +155,7 @@ int main(int argc, char** argv) {
         stm::VstmAdapter a(cfg);
         const double hs = bench_hashset(a, threads, duration);
         stm::VstmAdapter a2(cfg);
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         vstm_always_audit = au;
         t.add_row({"VSTM/always-validate", Table::num(hs, 3), Table::num(au, 1)});
     }
@@ -156,20 +163,22 @@ int main(int argc, char** argv) {
         stm::GlobalLockAdapter a;
         const double hs = bench_hashset(a, threads, duration);
         stm::GlobalLockAdapter a2;
-        const double au = bench_audit(a2, threads, duration);
+        const double au = bench_audit(a2, threads, duration, conserved);
         t.add_row({"GlobalLock", Table::num(hs, 3), Table::num(au, 1)});
     }
     t.add_note("audit txns read 128 accounts: validation-based STMs pay "
                "O(reads^2) total validation work per audit");
     t.print(std::cout);
 
+    const bool shape_lsa = lsa_audit > vstm_always_audit;
+    const bool shape_cc = vstm_cc_audit >= vstm_always_audit * 0.8;
     std::printf("\nSHAPE-CHECK time-based beats always-validate on long "
                 "read txns (%.1f vs %.1f kaudits/s): %s\n",
-                lsa_audit, vstm_always_audit,
-                lsa_audit > vstm_always_audit ? "PASS" : "FAIL");
+                lsa_audit, vstm_always_audit, shape_lsa ? "PASS" : "FAIL");
     std::printf("SHAPE-CHECK commit-counter heuristic helps the validation "
                 "STM (%.1f vs %.1f kaudits/s): %s\n",
-                vstm_cc_audit, vstm_always_audit,
-                vstm_cc_audit >= vstm_always_audit * 0.8 ? "PASS" : "FAIL");
-    return 0;
+                vstm_cc_audit, vstm_always_audit, shape_cc ? "PASS" : "FAIL");
+    std::printf("SHAPE-CHECK conservation across every engine: %s\n",
+                conserved ? "PASS" : "FAIL");
+    return (shape_lsa && shape_cc && conserved) ? 0 : 1;
 }

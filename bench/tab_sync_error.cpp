@@ -17,12 +17,12 @@
 #include <thread>
 #include <vector>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/ext_sync_clock.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "workload/runner.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/timebase/ext_sync_clock.hpp>
+#include <chronostm/util/cli.hpp>
+#include <chronostm/util/rng.hpp>
+#include <chronostm/util/table.hpp>
+#include <chronostm/workload/runner.hpp>
 
 using namespace chronostm;
 

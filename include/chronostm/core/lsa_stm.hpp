@@ -4,9 +4,11 @@
 // TB::deviation()).
 //
 // Design, following the paper:
-//  * Each TVar carries a versioned lock word ("orec"): (version_ts << 1) |
-//    lock_bit. The version timestamp is the commit time of the current
-//    value.
+//  * Each TVar carries a versioned lock word ("orec"). Unlocked it holds
+//    (version_ts << 1); locked it holds (TxDesc* | 1), a pointer to the
+//    owner's published commit descriptor, so conflicting threads can
+//    inspect the owner, help it finish (LSA-RT commit helping), or ask a
+//    contention manager to arbitrate.
 //  * Each TVar keeps a bounded history of old versions with validity
 //    ranges [from, until), so long read-only transactions can read a
 //    consistent-but-old snapshot instead of aborting (multi-version LSA;
@@ -18,6 +20,15 @@
 //  * Writes are buffered in a lazy write set; commit locks the write set in
 //    address order, draws one new timestamp from the time base, validates
 //    the read set, then publishes values with the new version timestamp.
+//    Once the descriptor is published as Committed, the write-back is
+//    claim-based and idempotent: any thread that meets a locked orec can
+//    finish the commit on the owner's behalf (StmConfig::help_committers),
+//    which keeps the system moving when a committer is preempted.
+//  * Conflict resolution is delegated to a pluggable contention manager
+//    (StmConfig::contention_manager): suicide, polite (backoff), aggressive,
+//    karma, timestamp. Managers that abort the enemy do so cooperatively by
+//    CASing the owner's descriptor from Locking/NeedTs to Killed; a
+//    descriptor that reached Committed can no longer be killed, only helped.
 //  * With an externally synchronized time base, every version's validity
 //    range is shrunk at both ends by the pairwise stamp uncertainty (twice
 //    the published per-stamp deviation bound: both the version's stamp and
@@ -32,16 +43,39 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
-#include "util/pause.hpp"
+#include <chronostm/util/pause.hpp>
 
 namespace chronostm {
+
+// How a transaction behaves when it runs into a lock owned by another
+// committing transaction (and how hard it retries afterwards).
+enum class CmPolicy {
+    kSuicide,     // abort self immediately on any conflict
+    kPolite,      // bounded spin, then abort self (a.k.a. backoff)
+    kAggressive,  // abort the enemy when possible, spin hard otherwise
+    kKarma,       // bigger accumulated access set wins; loser backs off
+    kTimestamp,   // older transaction wins; younger backs off
+};
+
+inline CmPolicy parse_contention_manager(const std::string& name) {
+    if (name.empty() || name == "polite" || name == "backoff")
+        return CmPolicy::kPolite;
+    if (name == "suicide") return CmPolicy::kSuicide;
+    if (name == "aggressive") return CmPolicy::kAggressive;
+    if (name == "karma") return CmPolicy::kKarma;
+    if (name == "timestamp") return CmPolicy::kTimestamp;
+    throw std::invalid_argument("chronostm: unknown contention manager: " +
+                                name);
+}
 
 struct StmConfig {
     // Versions kept per TVar including the current one; 1 = no history
@@ -50,23 +84,46 @@ struct StmConfig {
     unsigned max_versions = 8;
     // Lazy snapshot extension on reads that find a too-new current version.
     bool read_extension = true;
-    // Commit helping (LSA-RT); consumed by stm/adapter.hpp when that layer
-    // lands -- the core always uses bounded spinning.
+    // Commit helping (LSA-RT): threads that meet a lock owned by a
+    // transaction whose descriptor already reached Committed finish its
+    // write-back instead of waiting it out. Off = plain bounded spinning
+    // on foreign locks.
     bool help_committers = true;
-    // Spins on a foreign lock before giving up and aborting.
+    // Conflict arbitration policy; see CmPolicy. Parsed once per LsaStm.
+    std::string contention_manager = "polite";
+    // Spins on a foreign lock before the contention manager gives up.
     unsigned lock_spin = 256;
     // Bounded retry: run() throws after this many consecutive aborts.
     unsigned max_retries = 1'000'000;
+    // Test-only: invoked on the committing thread right after its
+    // descriptor is published as Committed (claims armed) and before it
+    // applies its own write set -- lets tests freeze a committer at the
+    // exact point where helping can take over. Leave empty in production.
+    std::function<void()> commit_publish_hook;
 };
 
 class TxStats {
  public:
     TxStats() = default;
-    TxStats(std::uint64_t commits, std::uint64_t aborts)
-        : commits_(commits), aborts_(aborts) {}
+    TxStats(std::uint64_t commits, std::uint64_t aborts,
+            std::uint64_t helped_c = 0, std::uint64_t helped_ts = 0)
+        : helped_commits(helped_c),
+          helped_timestamps(helped_ts),
+          commits_(commits),
+          aborts_(aborts) {}
 
     std::uint64_t commits() const { return commits_; }
     std::uint64_t aborts() const { return aborts_; }
+
+    // Helping counters (LSA-RT), public so drivers can sum them directly.
+    // helped_commits counts help EVENTS -- calls in which a thread applied
+    // at least one write record of a foreign decided commit -- not
+    // distinct commits: several helpers splitting one large write set each
+    // count one event. helped_timestamps is reserved (always 0 today):
+    // timestamp helping needs per-attempt draw tagging to be sound -- see
+    // the note in core/lsa_stm.hpp's detail namespace.
+    std::uint64_t helped_commits = 0;
+    std::uint64_t helped_timestamps = 0;
 
  private:
     std::uint64_t commits_ = 0;
@@ -82,6 +139,8 @@ struct AbortTx {};
 struct StatsBlock {
     std::atomic<std::uint64_t> commits{0};
     std::atomic<std::uint64_t> aborts{0};
+    std::atomic<std::uint64_t> helped_commits{0};
+    std::atomic<std::uint64_t> helped_timestamps{0};
 };
 
 // Exponential backoff with multiplicative-hash jitter; yields once the spin
@@ -98,6 +157,133 @@ inline void backoff(unsigned attempt, std::uint64_t seed) {
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
 }
 
+// Commit descriptor life cycle. Kill CASes are only legal from Locking or
+// NeedTs; Committed is the point of no return.
+enum TxStatus : int {
+    kTxIdle = 0,
+    kTxLocking,    // acquiring write-set locks in address order
+    kTxNeedTs,     // locks held, waiting for a commit timestamp
+    kTxCommitted,  // decided; write-back may be claimed by anybody
+    kTxKilled,     // a contention manager aborted this attempt
+};
+
+template <typename TB>
+class TVarBase;
+
+// Type-erased write record: lives in the owning transaction's write set,
+// applied (value publish + orec unlock) by the owner or by a helper.
+template <typename TB>
+struct CommitRecBase {
+    TVarBase<TB>* var;
+    std::uint64_t locked_word = 0;  // unlocked word this lock replaced
+    explicit CommitRecBase(TVarBase<TB>* v) : var(v) {}
+    virtual ~CommitRecBase() = default;
+    virtual void apply(std::uint64_t new_ts, std::uint64_t old_ts,
+                      unsigned keep_old) = 0;
+};
+
+// Published commit descriptor, one per thread context, reused across
+// transactions. Locked orecs point at it. Reuse is tag-guarded: write-set
+// slots are claimable only under the current sequence number, and slot
+// arrays only ever grow (retired arrays are kept until the descriptor
+// dies), so a stale helper can always dereference what it loaded and its
+// claim CAS is guaranteed to fail.
+template <typename TB>
+struct TxDesc {
+    std::atomic<int> status{kTxIdle};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> new_ts{0};
+    std::atomic<unsigned> keep_old{0};
+    // Contention-manager metadata for the in-flight attempt.
+    std::atomic<std::uint64_t> karma{0};
+    std::atomic<std::uint64_t> start_ts{0};
+
+    struct Slot {
+        std::atomic<std::uint64_t> claim{0};  // 2*seq armed, 2*seq+1 taken
+        std::atomic<CommitRecBase<TB>*> rec{nullptr};
+    };
+    // Capacity travels with the array: a helper that pairs a stale array
+    // with a newer (larger) n_slots clamps to the array's own capacity
+    // instead of indexing out of bounds (the claim tags then make every
+    // stale access a failed CAS).
+    struct SlotArray {
+        explicit SlotArray(std::size_t c)
+            : cap(c), slots(std::make_unique<Slot[]>(c)) {}
+        const std::size_t cap;
+        const std::unique_ptr<Slot[]> slots;
+    };
+    std::atomic<SlotArray*> slots{nullptr};
+    std::atomic<std::size_t> n_slots{0};
+
+    // Owner-only; helpers read the array through the atomic pointer.
+    SlotArray* ensure_capacity(std::size_t n) {
+        auto* cur = slots.load(std::memory_order_relaxed);
+        if (cur != nullptr && n <= cur->cap) return cur;
+        std::size_t want = cur != nullptr ? cur->cap * 2 : 8;
+        while (want < n) want *= 2;
+        arenas_.push_back(std::make_unique<SlotArray>(want));
+        slots.store(arenas_.back().get(), std::memory_order_release);
+        return arenas_.back().get();
+    }
+
+ private:
+    std::vector<std::unique_ptr<SlotArray>> arenas_;
+};
+
+// Finish a foreign Committed transaction's write-back. Claims are tagged
+// with the descriptor's sequence number, so helping a descriptor that has
+// since been reused degrades to a no-op (every CAS fails). Returns true if
+// this call applied at least one write record.
+template <typename TB>
+inline bool help_apply(TxDesc<TB>* d, StatsBlock* stats) {
+    if (d->status.load(std::memory_order_acquire) != kTxCommitted)
+        return false;
+    const std::uint64_t q = d->seq.load(std::memory_order_acquire);
+    auto* arr = d->slots.load(std::memory_order_acquire);
+    std::size_t n = d->n_slots.load(std::memory_order_acquire);
+    if (arr == nullptr || n == 0) return false;
+    // NOTE: everything loaded so far may be stale (the descriptor may have
+    // been recycled for a later attempt between the loads) -- staleness is
+    // caught by the claim tag below, never acted on, and `arr` and `n` may
+    // even be from different attempts, so n is clamped to the array's own
+    // capacity. The write-set metadata must NOT be read here: a claim for
+    // attempt q+1 could otherwise be applied with attempt q's new_ts.
+    if (n > arr->cap) n = arr->cap;
+    auto* slots = arr->slots.get();
+    bool helped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t expect = 2 * q;
+        if (!slots[i].claim.compare_exchange_strong(
+                expect, 2 * q + 1, std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            continue;
+        // A successful claim proves attempt q is still in write-back (the
+        // owner recycles the descriptor only once every slot has been
+        // claimed and applied), so metadata read AFTER the claim is
+        // exactly attempt q's, stable, and visible: the claim CAS
+        // synchronizes with the owner's post-publish claim store.
+        auto* rec = slots[i].rec.load(std::memory_order_relaxed);
+        const std::uint64_t nts = d->new_ts.load(std::memory_order_relaxed);
+        const unsigned keep = d->keep_old.load(std::memory_order_relaxed);
+        rec->apply(nts, rec->locked_word >> 1, keep);
+        helped = true;
+    }
+    if (helped && stats != nullptr)
+        stats->helped_commits.fetch_add(1, std::memory_order_relaxed);
+    return helped;
+}
+
+// Timestamp helping (a helper drawing the commit stamp on a stalled
+// committer's behalf) is deliberately NOT implemented: the correctness of
+// snapshot reads hinges on every commit stamp being drawn AFTER the whole
+// write set is locked, and a helper cannot prove its draw happened inside
+// the current attempt's window (the descriptor may have been recycled
+// between its status check and its draw). A pre-lock stamp would let a
+// fresh reader accept the commit's writes inside a snapshot that still
+// contains pre-lock state. Helpers therefore only ever finish decided
+// commits; StatsBlock::helped_timestamps stays reserved for a future
+// scheme that can tag draws per attempt.
+
 }  // namespace detail
 
 template <typename TB>
@@ -109,9 +295,11 @@ class LsaStm;
 template <typename T, typename TB>
 class TVar;
 
+namespace detail {
+
 // Untyped base so transactions can track read/write sets across TVar<T>
 // instantiations. The lock word is the only shared-memory rendezvous point:
-// (version_ts << 1) | lock_bit.
+// (version_ts << 1) unlocked, (TxDesc* | 1) locked.
 template <typename TB>
 class TVarBase {
  public:
@@ -121,9 +309,14 @@ class TVarBase {
     virtual ~TVarBase() = default;
 
  protected:
-    friend class Transaction<TB>;
+    friend class chronostm::Transaction<TB>;
     std::atomic<std::uint64_t> vlock_{0};
 };
+
+}  // namespace detail
+
+template <typename TB>
+using TVarBase = detail::TVarBase<TB>;
 
 template <typename T, typename TB>
 class TVar : public TVarBase<TB> {
@@ -152,16 +345,18 @@ class TVar : public TVarBase<TB> {
         std::atomic<std::uint64_t> until{0};
     };
 
-    // Called by the committing transaction with the lock bit held. The
-    // release fence keeps the (earlier) lock-bit store visible before any
-    // of the data stores below on weakly-ordered hardware, so a reader
-    // that observes new data and then rechecks the lock word is guaranteed
-    // to see the lock (or the final version) -- the other half of the
-    // seqlock lives in Transaction::read / read_old_version.
-    void commit_write(const T& v, std::uint64_t new_ts, unsigned keep_old) {
+    // Called with the lock bit held by exactly one thread (the committing
+    // owner or the helper that claimed this record). `old_ts` is the
+    // version being replaced (the lock word no longer carries it: locked
+    // words hold the descriptor pointer). The release fence keeps the
+    // (earlier) lock store visible before any of the data stores below on
+    // weakly-ordered hardware, so a reader that observes new data and then
+    // rechecks the lock word is guaranteed to see the lock (or the final
+    // version) -- the other half of the seqlock lives in Transaction::read
+    // / read_old_version.
+    void commit_write(const T& v, std::uint64_t new_ts, std::uint64_t old_ts,
+                      unsigned keep_old) {
         std::atomic_thread_fence(std::memory_order_release);
-        const std::uint64_t old_ts =
-            this->vlock_.load(std::memory_order_relaxed) >> 1;
         if (keep_old > 0) {
             const unsigned head =
                 (hist_head_.load(std::memory_order_relaxed) + 1) %
@@ -212,29 +407,94 @@ class Transaction {
         std::uint64_t word;  // unlocked lock word observed at read time
     };
 
-    struct WriteRecBase {
-        TVarBase<TB>* var;
-        std::uint64_t locked_word = 0;
-        explicit WriteRecBase(TVarBase<TB>* v) : var(v) {}
-        virtual ~WriteRecBase() = default;
-        virtual void apply(std::uint64_t new_ts, unsigned keep_old) = 0;
-    };
-
     template <typename T>
-    struct WriteRec : WriteRecBase {
+    struct WriteRec : detail::CommitRecBase<TB> {
         TVar<T, TB>* tvar;
         T value;
         WriteRec(TVar<T, TB>* v, T val)
-            : WriteRecBase(v), tvar(v), value(std::move(val)) {}
-        void apply(std::uint64_t new_ts, unsigned keep_old) override {
-            tvar->commit_write(value, new_ts, keep_old);
+            : detail::CommitRecBase<TB>(v), tvar(v), value(std::move(val)) {}
+        void apply(std::uint64_t new_ts, std::uint64_t old_ts,
+                   unsigned keep_old) override {
+            tvar->commit_write(value, new_ts, old_ts, keep_old);
         }
     };
 
-    Transaction(Clock& clk, const StmConfig& cfg, std::uint64_t dev)
-        : clk_(clk), cfg_(cfg), dev_(dev) {
+    Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
+                std::uint64_t dev, detail::StatsBlock* stats,
+                detail::TxDesc<TB>* desc)
+        : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
+          desc_(desc) {
         upper_ = clk_.get_time();
+        start_ts_ = upper_;
         upper_cap_ = ~std::uint64_t{0};
+    }
+
+    std::uint64_t my_lock_word() const {
+        return reinterpret_cast<std::uintptr_t>(desc_) | 1u;
+    }
+
+    static detail::TxDesc<TB>* decode_owner(std::uint64_t locked_word) {
+        return reinterpret_cast<detail::TxDesc<TB>*>(
+            static_cast<std::uintptr_t>(locked_word & ~std::uint64_t{1}));
+    }
+
+    // Cooperative kill: only attempts that have not reached Committed can
+    // die. A stale kill (the descriptor moved on to a later attempt) costs
+    // that attempt a spurious abort, never correctness.
+    static void try_kill(detail::TxDesc<TB>* d) {
+        int s = d->status.load(std::memory_order_acquire);
+        if (s == detail::kTxLocking || s == detail::kTxNeedTs)
+            d->status.compare_exchange_strong(s, detail::kTxKilled,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed);
+    }
+
+    // Block on a foreign lock until it clears, helping and arbitrating per
+    // the contention manager; returns the (unlocked) current word. Throws
+    // AbortTx when the manager decides this transaction should yield.
+    std::uint64_t wait_on_foreign_lock(TVarBase<TB>* var) {
+        std::uint64_t spins = 0;
+        const std::uint64_t budget =
+            cm_ == CmPolicy::kAggressive
+                ? 64ull * cfg_.lock_spin
+                : static_cast<std::uint64_t>(cfg_.lock_spin);
+        for (;;) {
+            const std::uint64_t w =
+                var->vlock_.load(std::memory_order_acquire);
+            if (!(w & 1u)) return w;
+            // If a manager killed *us* while we were stuck here, yield now
+            // (only possible while we hold locks, i.e. during commit).
+            if (desc_->status.load(std::memory_order_relaxed) ==
+                detail::kTxKilled)
+                throw detail::AbortTx{};
+            auto* owner = decode_owner(w);
+            if (cfg_.help_committers &&
+                detail::help_apply(owner, stats_))
+                continue;
+            switch (cm_) {
+                case CmPolicy::kSuicide:
+                    throw detail::AbortTx{};
+                case CmPolicy::kAggressive:
+                    try_kill(owner);
+                    break;
+                case CmPolicy::kKarma:
+                    if (reads_.size() + writes_.size() >
+                        owner->karma.load(std::memory_order_relaxed))
+                        try_kill(owner);
+                    break;
+                case CmPolicy::kTimestamp:
+                    if (start_ts_ <
+                        owner->start_ts.load(std::memory_order_relaxed))
+                        try_kill(owner);
+                    break;
+                case CmPolicy::kPolite:
+                    break;
+            }
+            if (++spins > budget) throw detail::AbortTx{};
+            cpu_relax();
+            // Single-CPU hosts: the lock owner cannot run unless we yield.
+            if ((spins & 255u) == 0) std::this_thread::yield();
+        }
     }
 
     template <typename T>
@@ -242,15 +502,9 @@ class Transaction {
         if (auto* rec = find_write(&var))
             return static_cast<WriteRec<T>*>(rec)->value;
 
-        unsigned lock_spins = 0;
         for (;;) {
-            const std::uint64_t w1 =
-                var.vlock_.load(std::memory_order_acquire);
-            if (w1 & 1u) {
-                if (++lock_spins > cfg_.lock_spin) throw detail::AbortTx{};
-                cpu_relax();
-                continue;
-            }
+            std::uint64_t w1 = var.vlock_.load(std::memory_order_acquire);
+            if (w1 & 1u) w1 = wait_on_foreign_lock(&var);
             const std::uint64_t wv = w1 >> 1;
             // Validity of the current version starts at wv, shrunk by the
             // pairwise stamp uncertainty dev_.
@@ -342,21 +596,17 @@ class Transaction {
         return false;
     }
 
-    typename Transaction::WriteRecBase* find_write(TVarBase<TB>* var) {
+    detail::CommitRecBase<TB>* find_write(TVarBase<TB>* var) {
         for (auto& rec : writes_)
             if (rec->var == var) return rec.get();
         return nullptr;
     }
 
-    bool owns_lock(TVarBase<TB>* var) const {
-        for (const auto& rec : writes_)
-            if (rec->var == var) return true;
-        return false;
-    }
-
-    // Commit protocol: lock write set in address order, draw the commit
-    // timestamp, validate reads, publish, unlock. Returns false on
-    // conflict (caller counts the abort and retries).
+    // Commit protocol: lock the write set in address order (descriptor
+    // pointer goes into each orec), publish NeedTs and draw or receive the
+    // commit timestamp, validate reads, publish Committed, then claim-and-
+    // apply the write set -- racing any helpers doing the same. Returns
+    // false on conflict or kill (caller counts the abort and retries).
     bool commit() {
         if (writes_.empty()) return true;  // snapshot reads are consistent
         // An update transaction that resorted to old versions cannot
@@ -371,44 +621,63 @@ class Transaction {
             writes_sorted_ = true;
         }
 
+        auto* d = desc_;
+        const std::uint64_t q = d->seq.load(std::memory_order_relaxed) + 1;
+        d->karma.store(reads_.size() + writes_.size(),
+                       std::memory_order_relaxed);
+        d->start_ts.store(start_ts_, std::memory_order_relaxed);
+        d->status.store(detail::kTxLocking, std::memory_order_release);
+
         std::size_t locked = 0;
-        for (; locked < writes_.size(); ++locked) {
-            auto& rec = writes_[locked];
-            std::uint64_t w = rec->var->vlock_.load(std::memory_order_relaxed);
-            unsigned spins = 0;
-            for (;;) {
-                if (w & 1u) {
-                    if (++spins > cfg_.lock_spin) {
-                        unlock_prefix(locked);
-                        return false;
+        try {
+            for (; locked < writes_.size(); ++locked) {
+                auto& rec = writes_[locked];
+                for (;;) {
+                    if (d->status.load(std::memory_order_relaxed) ==
+                        detail::kTxKilled)
+                        return rollback(locked);
+                    std::uint64_t w =
+                        rec->var->vlock_.load(std::memory_order_relaxed);
+                    if (w & 1u) {
+                        wait_on_foreign_lock(rec->var);
+                        continue;
                     }
-                    cpu_relax();
-                    w = rec->var->vlock_.load(std::memory_order_relaxed);
-                    continue;
-                }
-                if (rec->var->vlock_.compare_exchange_weak(
-                        w, w | 1u, std::memory_order_acq_rel,
-                        std::memory_order_relaxed)) {
-                    rec->locked_word = w;
-                    break;
+                    if (rec->var->vlock_.compare_exchange_weak(
+                            w, my_lock_word(), std::memory_order_acq_rel,
+                            std::memory_order_relaxed)) {
+                        rec->locked_word = w;
+                        break;
+                    }
                 }
             }
+        } catch (const detail::AbortTx&) {
+            return rollback(locked);
         }
 
+        // Locks held: draw the commit timestamp. It MUST be drawn after
+        // the last lock is acquired -- a pre-lock stamp would let a reader
+        // that began after the stamp accept our writes next to pre-lock
+        // state it already read (see the timestamp-helping note above).
+        int expect = detail::kTxLocking;
+        if (!d->status.compare_exchange_strong(expect, detail::kTxNeedTs,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed))
+            return rollback(writes_.size());  // killed while locking
         const std::uint64_t commit_ts = clk_.get_new_ts();
 
         for (const auto& e : reads_) {
             const std::uint64_t cur =
                 e.var->vlock_.load(std::memory_order_acquire);
             if (cur == e.word) continue;
-            if (cur == (e.word | 1u) && owns_lock(e.var)) continue;
-            unlock_prefix(writes_.size());
-            return false;
+            if (cur == my_lock_word()) {
+                // Locked by us; valid iff the version under our lock is
+                // still the one we read.
+                auto* rec = find_write(e.var);
+                if (rec != nullptr && rec->locked_word == e.word) continue;
+            }
+            return rollback(writes_.size());
         }
-        if (lower_ > commit_ts) {
-            unlock_prefix(writes_.size());
-            return false;
-        }
+        if (lower_ > commit_ts) return rollback(writes_.size());
 
         const unsigned keep_old =
             cfg_.max_versions > 0
@@ -422,32 +691,84 @@ class Transaction {
         std::uint64_t new_ts = commit_ts;
         for (const auto& rec : writes_)
             new_ts = std::max(new_ts, (rec->locked_word >> 1) + 1);
-        for (auto& rec : writes_) rec->apply(new_ts, keep_old);
+
+        // Stage the helper-visible write-set view. Claims stay tagged with
+        // the previous attempt until after the Committed CAS below, so no
+        // helper can apply an attempt that might still be killed.
+        auto* slots = d->ensure_capacity(writes_.size())->slots.get();
+        for (std::size_t i = 0; i < writes_.size(); ++i)
+            slots[i].rec.store(writes_[i].get(), std::memory_order_relaxed);
+        d->n_slots.store(writes_.size(), std::memory_order_relaxed);
+        d->new_ts.store(new_ts, std::memory_order_relaxed);
+        d->keep_old.store(keep_old, std::memory_order_relaxed);
+        d->seq.store(q, std::memory_order_relaxed);
+
+        expect = detail::kTxNeedTs;
+        if (!d->status.compare_exchange_strong(expect, detail::kTxCommitted,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed))
+            return rollback(writes_.size());  // killed at the buzzer
+        for (std::size_t i = 0; i < writes_.size(); ++i)
+            slots[i].claim.store(2 * q, std::memory_order_release);
+
+        if (cfg_.commit_publish_hook) cfg_.commit_publish_hook();
+
+        // Claim-and-apply our own write set, racing helpers for each slot.
+        for (std::size_t i = 0; i < writes_.size(); ++i) {
+            std::uint64_t expect_claim = 2 * q;
+            if (slots[i].claim.compare_exchange_strong(
+                    expect_claim, 2 * q + 1, std::memory_order_acq_rel,
+                    std::memory_order_relaxed))
+                writes_[i]->apply(new_ts, writes_[i]->locked_word >> 1,
+                                  keep_old);
+        }
+        // Wait until every orec is unlocked (a helper may still be midway
+        // through a claimed slot) before the write records -- which that
+        // helper dereferences -- can be destroyed and the descriptor
+        // recycled.
+        for (const auto& rec : writes_) {
+            std::uint64_t spins = 0;
+            while (rec->var->vlock_.load(std::memory_order_acquire) ==
+                   my_lock_word()) {
+                cpu_relax();
+                if ((++spins & 255u) == 0) std::this_thread::yield();
+            }
+        }
+        d->status.store(detail::kTxIdle, std::memory_order_release);
         return true;
     }
 
-    void unlock_prefix(std::size_t n) {
+    // Abort path while holding the first `n` write-set locks: restore the
+    // saved words and retire the descriptor attempt.
+    bool rollback(std::size_t n) {
         for (std::size_t i = 0; i < n; ++i) {
             auto& rec = writes_[i];
             rec->var->vlock_.store(rec->locked_word,
                                    std::memory_order_release);
         }
+        desc_->status.store(detail::kTxIdle, std::memory_order_release);
+        return false;
     }
 
     Clock& clk_;
     const StmConfig& cfg_;
+    CmPolicy cm_;
     std::uint64_t dev_;
+    detail::StatsBlock* stats_;
+    detail::TxDesc<TB>* desc_;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     std::uint64_t upper_cap_ = 0;
+    std::uint64_t start_ts_ = 0;
     bool read_old_ = false;
     bool writes_sorted_ = false;
     std::vector<ReadEntry> reads_;
-    std::vector<std::unique_ptr<WriteRecBase>> writes_;
+    std::vector<std::unique_ptr<detail::CommitRecBase<TB>>> writes_;
 };
 
-// Per-thread handle: owns a thread clock and a stats block registered with
-// the parent LsaStm. Movable; not thread-safe (one context per thread).
+// Per-thread handle: owns a thread clock, a stats block, and a commit
+// descriptor registered with the parent LsaStm. Movable; not thread-safe
+// (one context per thread).
 template <typename TB>
 class ThreadContext {
  public:
@@ -460,26 +781,18 @@ class ThreadContext {
     auto run(F&& f) {
         using R = std::invoke_result_t<F&, Transaction<TB>&>;
         for (unsigned attempt = 0;; ++attempt) {
-            Transaction<TB> tx(clk_, cfg_, dev_);
             try {
+                Transaction<TB> tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
                     f(tx);
-                    if (tx.commit()) {
-                        stats_->commits.fetch_add(1,
-                                                  std::memory_order_relaxed);
-                        return;
-                    }
+                    if (txn_commit(tx)) return;
                 } else {
                     R r = f(tx);
-                    if (tx.commit()) {
-                        stats_->commits.fetch_add(1,
-                                                  std::memory_order_relaxed);
-                        return r;
-                    }
+                    if (txn_commit(tx)) return r;
                 }
             } catch (const detail::AbortTx&) {
+                stats_->aborts.fetch_add(1, std::memory_order_relaxed);
             }
-            stats_->aborts.fetch_add(1, std::memory_order_relaxed);
             if (attempt + 1 >= cfg_.max_retries)
                 throw std::runtime_error(
                     "chronostm: transaction exceeded retry bound");
@@ -488,32 +801,61 @@ class ThreadContext {
         }
     }
 
+    // Explicit transaction control for adapters and staged tests; run() is
+    // the preferred loop. The returned transaction is valid for one
+    // attempt: reads/writes may throw detail::AbortTx, and txn_commit
+    // reports success. Statistics are counted like run() does.
+    Transaction<TB> txn_begin() {
+        return Transaction<TB>(clk_, cfg_, cm_, dev_, stats_.get(),
+                               desc_.get());
+    }
+
+    bool txn_commit(Transaction<TB>& tx) {
+        if (tx.commit()) {
+            stats_->commits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
     TxStats stats() const {
-        return TxStats(stats_->commits.load(std::memory_order_relaxed),
-                       stats_->aborts.load(std::memory_order_relaxed));
+        return TxStats(
+            stats_->commits.load(std::memory_order_relaxed),
+            stats_->aborts.load(std::memory_order_relaxed),
+            stats_->helped_commits.load(std::memory_order_relaxed),
+            stats_->helped_timestamps.load(std::memory_order_relaxed));
     }
 
  private:
     friend class LsaStm<TB>;
 
-    ThreadContext(Clock clk, const StmConfig& cfg, std::uint64_t dev,
-                  std::shared_ptr<detail::StatsBlock> stats)
+    ThreadContext(Clock clk, const StmConfig& cfg, CmPolicy cm,
+                  std::uint64_t dev,
+                  std::shared_ptr<detail::StatsBlock> stats,
+                  std::shared_ptr<detail::TxDesc<TB>> desc)
         : clk_(std::move(clk)),
           cfg_(cfg),
+          cm_(cm),
           dev_(dev),
-          stats_(std::move(stats)) {}
+          stats_(std::move(stats)),
+          desc_(std::move(desc)) {}
 
     Clock clk_;
     StmConfig cfg_;
+    CmPolicy cm_;
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
+    std::shared_ptr<detail::TxDesc<TB>> desc_;
 };
 
 template <typename TB>
 class LsaStm {
  public:
     explicit LsaStm(TB& tbase, StmConfig cfg = StmConfig{})
-        : tbase_(tbase), cfg_(cfg) {
+        : tbase_(tbase),
+          cfg_(std::move(cfg)),
+          cm_(parse_contention_manager(cfg_.contention_manager)) {
         if (cfg_.max_versions == 0) cfg_.max_versions = 1;
     }
 
@@ -522,37 +864,48 @@ class LsaStm {
 
     ThreadContext<TB> make_context() {
         auto block = std::make_shared<detail::StatsBlock>();
+        auto desc = std::make_shared<detail::TxDesc<TB>>();
         {
             std::lock_guard<std::mutex> g(mu_);
             blocks_.push_back(block);
+            // Descriptors are pinned for the STM's lifetime: a helper may
+            // hold a pointer to one (read out of a lock word) after the
+            // owning context has been destroyed.
+            descs_.push_back(desc);
         }
         // The time base publishes each stamp's deviation from true time;
         // the core compares stamps from two different clocks, so the
         // pairwise uncertainty -- and the validity-range shrink -- is
         // twice that bound.
-        return ThreadContext<TB>(tbase_.make_thread_clock(), cfg_,
-                                 2 * tbase_.deviation(), std::move(block));
+        return ThreadContext<TB>(tbase_.make_thread_clock(), cfg_, cm_,
+                                 2 * tbase_.deviation(), std::move(block),
+                                 std::move(desc));
     }
 
-    // Aggregate commit/abort counts over every context ever created.
+    // Aggregate counters over every context ever created.
     TxStats collected_stats() const {
-        std::uint64_t c = 0, a = 0;
+        std::uint64_t c = 0, a = 0, hc = 0, ht = 0;
         std::lock_guard<std::mutex> g(mu_);
         for (const auto& b : blocks_) {
             c += b->commits.load(std::memory_order_relaxed);
             a += b->aborts.load(std::memory_order_relaxed);
+            hc += b->helped_commits.load(std::memory_order_relaxed);
+            ht += b->helped_timestamps.load(std::memory_order_relaxed);
         }
-        return TxStats(c, a);
+        return TxStats(c, a, hc, ht);
     }
 
     const StmConfig& config() const { return cfg_; }
+    CmPolicy contention_policy() const { return cm_; }
     TB& time_base() { return tbase_; }
 
  private:
     TB& tbase_;
     StmConfig cfg_;
+    CmPolicy cm_;
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
+    std::vector<std::shared_ptr<detail::TxDesc<TB>>> descs_;
 };
 
 }  // namespace chronostm

@@ -1,0 +1,120 @@
+// The uniform Stm facade the workload layer and every comparison driver
+// program against. An adapter provides:
+//
+//   template <typename T> using Var;   // shared transactional variable,
+//                                      //   constructed with an initial
+//                                      //   value; Var::unsafe_peek() for
+//                                      //   quiesced post-run checks
+//   using Txn;                         // per-attempt handle:
+//                                      //   tx.read(var), tx.write(var, v),
+//                                      //   tx.abort()
+//   using Context;                     // per-thread handle (make one per
+//                                      //   worker thread); Context::stats()
+//                                      //   exposes per-thread commit/abort
+//                                      //   counters
+//   Context make_context();
+//   adapter.run(ctx, f);               // runs f(Txn&) until it commits and
+//                                      //   passes f's return value through
+//   adapter.txn_begin(ctx);            // explicit one-attempt control for
+//   adapter.txn_commit(ctx, tx);       //   staged tests (reads/writes may
+//                                      //   throw on conflict; commit
+//                                      //   reports success)
+//   adapter.collected_stats();         // aggregate TxStats over contexts
+//
+// Engines behind the facade:
+//   * LsaAdapter<TB>   -- the paper's LSA-RT over any time base TB, with
+//                         multi-version history, commit helping, and
+//                         pluggable contention managers (StmConfig).
+//   * Tl2Adapter       -- single-version, global-version-clock TL2.
+//   * VstmAdapter      -- validation-based STM, +- commit-counter
+//                         heuristic (VstmConfig).
+//   * GlobalLockAdapter-- one mutex around everything.
+
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/baselines/global_lock.hpp>
+#include <chronostm/stm/baselines/tl2.hpp>
+#include <chronostm/stm/baselines/vstm.hpp>
+
+namespace chronostm {
+namespace stm {
+
+// LSA-RT behind the facade: thin shims over core/lsa_stm.hpp. The Txn
+// handle adapts the facade's tx.read(var) spelling to the core's
+// var.get(tx) one; everything else forwards.
+template <typename TB>
+class LsaAdapter {
+ public:
+    template <typename T>
+    using Var = TVar<T, TB>;
+
+    class Txn {
+     public:
+        explicit Txn(Transaction<TB>& tx) : tx_(tx) {}
+
+        template <typename T>
+        T read(Var<T>& var) {
+            return var.get(tx_);
+        }
+
+        template <typename T>
+        void write(Var<T>& var, T v) {
+            var.set(tx_, std::move(v));
+        }
+
+        [[noreturn]] void abort() { tx_.abort(); }
+
+        Transaction<TB>& inner() { return tx_; }
+
+     private:
+        Transaction<TB>& tx_;
+    };
+
+    class Context {
+     public:
+        TxStats stats() const { return inner_.stats(); }
+        ThreadContext<TB>& inner() { return inner_; }
+
+     private:
+        friend class LsaAdapter;
+        explicit Context(ThreadContext<TB> inner)
+            : inner_(std::move(inner)) {}
+        ThreadContext<TB> inner_;
+    };
+
+    explicit LsaAdapter(TB& tbase, StmConfig cfg = StmConfig{})
+        : stm_(tbase, std::move(cfg)) {}
+    LsaAdapter(const LsaAdapter&) = delete;
+    LsaAdapter& operator=(const LsaAdapter&) = delete;
+
+    Context make_context() { return Context(stm_.make_context()); }
+
+    Transaction<TB> txn_begin(Context& ctx) {
+        return ctx.inner_.txn_begin();
+    }
+
+    bool txn_commit(Context& ctx, Transaction<TB>& tx) {
+        return ctx.inner_.txn_commit(tx);
+    }
+
+    template <typename F>
+    auto run(Context& ctx, F&& f) {
+        return ctx.inner_.run([&](Transaction<TB>& tx) {
+            Txn handle(tx);
+            return f(handle);
+        });
+    }
+
+    LsaStm<TB>& stm() { return stm_; }
+    TxStats collected_stats() const { return stm_.collected_stats(); }
+
+ private:
+    LsaStm<TB> stm_;
+};
+
+}  // namespace stm
+}  // namespace chronostm

@@ -1,0 +1,124 @@
+// Single-global-lock baseline: every "transaction" runs under one mutex.
+// Zero instrumentation cost per access, zero aborts, zero scalability --
+// the lower bound every STM must beat once there is more than one thread,
+// and an upper bound on single-thread throughput.
+
+#pragma once
+
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/baselines/adapter_base.hpp>
+
+namespace chronostm {
+namespace stm {
+
+class GlobalLockAdapter;
+
+namespace glock {
+
+class Txn;
+
+template <typename T>
+class Var {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Var<T> mirrors the transactional-var contract");
+
+ public:
+    explicit Var(T initial) : value_(initial) {}
+    Var(const Var&) = delete;
+    Var& operator=(const Var&) = delete;
+
+    // Quiesced-state check only, like TVar::unsafe_peek.
+    T unsafe_peek() const { return value_; }
+
+ private:
+    friend class Txn;
+    T value_;
+};
+
+// Accesses run under the adapter's mutex (held by the Txn); reads and
+// writes are direct.
+class Txn {
+ public:
+    template <typename T>
+    T read(Var<T>& var) {
+        return var.value_;
+    }
+
+    template <typename T>
+    void write(Var<T>& var, T v) {
+        var.value_ = std::move(v);
+    }
+
+    [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+ private:
+    friend class chronostm::stm::GlobalLockAdapter;
+    explicit Txn(std::mutex& big_lock) : lock_(big_lock) {}
+    std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace glock
+
+// Not a BaselineAdapter: there is no optimistic attempt/commit cycle to
+// retry, the mutex is held around the whole user function. Only the stats
+// registry is shared.
+class GlobalLockAdapter : public StatsRegistry {
+ public:
+    template <typename T>
+    using Var = glock::Var<T>;
+    using Txn = glock::Txn;
+
+    GlobalLockAdapter() = default;
+    GlobalLockAdapter(const GlobalLockAdapter&) = delete;
+    GlobalLockAdapter& operator=(const GlobalLockAdapter&) = delete;
+
+    // "Begin" is taking the lock, "commit" is releasing it: the explicit
+    // facade path works like every other engine's.
+    Txn txn_begin(Context&) { return Txn(big_lock_); }
+
+    bool txn_commit(Context& ctx, Txn& tx) {
+        tx.lock_.unlock();
+        count_commit(ctx);
+        return true;
+    }
+
+    template <typename F>
+    auto run(Context& ctx, F&& f) {
+        using R = std::invoke_result_t<F&, Txn&>;
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                Txn tx(big_lock_);
+                if constexpr (std::is_void_v<R>) {
+                    f(tx);
+                    count_commit(ctx);
+                    return;
+                } else {
+                    R r = f(tx);
+                    count_commit(ctx);
+                    return r;
+                }
+            } catch (const detail::AbortTx&) {
+                // Only user-directed aborts can land here; retry outside
+                // the lock so other threads can make progress meanwhile.
+                count_abort(ctx);
+            }
+            // Same loud failure as the optimistic engines instead of
+            // wedging on a condition that never comes true.
+            if (attempt + 1 >= kMaxRetries)
+                throw std::runtime_error(
+                    "chronostm: GlobalLock transaction exceeded retry bound");
+            std::this_thread::yield();
+        }
+    }
+
+ private:
+    static constexpr unsigned kMaxRetries = 1'000'000;
+    std::mutex big_lock_;
+};
+
+}  // namespace stm
+}  // namespace chronostm

@@ -1,0 +1,109 @@
+// TL2 baseline (paper Section 1.2): single-version, word-based STM with
+// one global version clock. Reads validate "version <= rv and unlocked";
+// commit locks the write set in address order, increments the global clock
+// (the shared cache line every committer serializes on -- exactly the
+// bottleneck the paper's scalable time bases remove), validates the read
+// set, and publishes. No version history: a reader whose snapshot predates
+// a concurrent commit aborts and restarts with a fresh read version.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/baselines/adapter_base.hpp>
+#include <chronostm/stm/baselines/word_stm.hpp>
+
+namespace chronostm {
+namespace stm {
+
+class Tl2Adapter;
+
+struct Tl2Config {
+    unsigned lock_spin = 256;
+    unsigned max_retries = 1'000'000;
+};
+
+namespace tl2 {
+
+class Txn : public wstm::TxnBase<Txn> {
+ public:
+    template <typename T>
+    T read(wstm::Var<T>& var) {
+        if (auto* rec = find_write(&var))
+            return static_cast<WriteRec<T>*>(rec)->value;
+        unsigned spins = 0;
+        for (;;) {
+            const std::uint64_t w1 = load_word(&var);
+            if (w1 & 1u) {
+                if (++spins > cfg_->lock_spin) abort();
+                cpu_relax();
+                continue;
+            }
+            if ((w1 >> 1) > rv_) abort();  // too new for our read version
+            T v;
+            if (!read_value(var, w1, v)) continue;
+            reads_.push_back(ReadEntry{&var, w1});
+            return v;
+        }
+    }
+
+ private:
+    friend class chronostm::stm::Tl2Adapter;
+    template <typename D>
+    friend class chronostm::stm::BaselineAdapter;
+
+    Txn(std::atomic<std::uint64_t>* clock, const Tl2Config* cfg)
+        : clock_(clock), cfg_(cfg) {
+        rv_ = clock_->load(std::memory_order_acquire);
+    }
+
+    bool commit() {
+        if (writes_.empty()) return true;  // reads validated against rv
+        if (!lock_write_set(cfg_->lock_spin)) return false;
+
+        // The single shared fetch_add every TL2 commit pays.
+        const std::uint64_t wv =
+            clock_->fetch_add(1, std::memory_order_acq_rel) + 1;
+
+        // TL2 optimization: wv == rv+1 means nothing committed since we
+        // started, so the read set cannot have changed.
+        if (wv != rv_ + 1 && !validate_reads()) {
+            unlock_all();
+            return false;
+        }
+        for (auto& rec : writes_) rec->publish(wv << 1);
+        return true;
+    }
+
+    std::atomic<std::uint64_t>* clock_;
+    const Tl2Config* cfg_;
+    std::uint64_t rv_ = 0;
+};
+
+}  // namespace tl2
+
+class Tl2Adapter : public BaselineAdapter<Tl2Adapter> {
+ public:
+    template <typename T>
+    using Var = wstm::Var<T>;
+    using Txn = tl2::Txn;
+
+    static constexpr const char* kEngineName = "TL2";
+
+    explicit Tl2Adapter(Tl2Config cfg = Tl2Config{}) : cfg_(cfg) {}
+    Tl2Adapter(const Tl2Adapter&) = delete;
+    Tl2Adapter& operator=(const Tl2Adapter&) = delete;
+
+    Txn txn_begin(Context&) { return Txn(&clock_, &cfg_); }
+    unsigned max_retries() const { return cfg_.max_retries; }
+
+ private:
+    Tl2Config cfg_;
+    alignas(64) std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace stm
+}  // namespace chronostm

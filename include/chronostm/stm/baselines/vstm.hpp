@@ -1,0 +1,168 @@
+// Validation-based STM baseline (paper Sections 1.1-1.2): no time base at
+// all. Consistency comes from revalidating the entire read set every time
+// a new object is opened -- O(reads-so-far) per open, O(n^2) per
+// transaction, the cost time-based STMs exist to avoid. The optional
+// commit-counter heuristic (VstmConfig::commit_counter_heuristic) skips
+// the per-open validation when no commit has been in flight since the
+// last validation, recovering most of the cost in read-dominated phases
+// while keeping the quadratic worst case under concurrent updates.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/baselines/adapter_base.hpp>
+#include <chronostm/stm/baselines/word_stm.hpp>
+
+namespace chronostm {
+namespace stm {
+
+class VstmAdapter;
+
+struct VstmConfig {
+    // Skip per-open revalidation while no commit has started or finished
+    // since the last validation (nothing can have invalidated the read
+    // set).
+    bool commit_counter_heuristic = true;
+    unsigned lock_spin = 256;
+    unsigned max_retries = 1'000'000;
+};
+
+namespace vstm {
+
+// The heuristic needs seqlock-style announce/complete semantics: a single
+// counter bumped either before or after write-back has a TOCTOU hole (a
+// reader can absorb a pre-publish bump, then skip validation against that
+// very commit's writes once they land). With a counter pair --
+// `started` bumped before any lock is taken, `finished` bumped when the
+// attempt is over -- a reader may skip only when both counters are
+// unchanged since its last validation AND equal. The three conditions
+// are jointly unsatisfiable whenever some commit published between the
+// reader's last validation and its current check, so skipping is safe:
+//  * commit announced after the last validation: observing any of its
+//    writes (through the read seqlock's acquire) makes `started` visibly
+//    larger than the remembered value;
+//  * commit in flight at the last validation: the remembered values
+//    satisfy started > finished, so "unchanged" and "equal" contradict.
+struct CommitEpoch {
+    alignas(64) std::atomic<std::uint64_t> started{0};
+    alignas(64) std::atomic<std::uint64_t> finished{0};
+};
+
+class Txn : public wstm::TxnBase<Txn> {
+ public:
+    template <typename T>
+    T read(wstm::Var<T>& var) {
+        if (auto* rec = find_write(&var))
+            return static_cast<WriteRec<T>*>(rec)->value;
+        unsigned spins = 0;
+        for (;;) {
+            const std::uint64_t w1 = load_word(&var);
+            if (w1 & 1u) {
+                if (++spins > cfg_->lock_spin) abort();
+                cpu_relax();
+                continue;
+            }
+            T v;
+            if (!read_value(var, w1, v)) continue;
+            reads_.push_back(ReadEntry{&var, w1});
+            // The defining cost of a validation-based STM: opening the
+            // n-th object revalidates the n-1 already open.
+            validate_on_open();
+            return v;
+        }
+    }
+
+    std::uint64_t validated_reads() const { return validated_reads_; }
+
+ private:
+    friend class chronostm::stm::VstmAdapter;
+    template <typename D>
+    friend class chronostm::stm::BaselineAdapter;
+
+    Txn(CommitEpoch* epoch, const VstmConfig* cfg)
+        : epoch_(epoch), cfg_(cfg) {
+        last_started_ = epoch_->started.load(std::memory_order_acquire);
+        last_finished_ = epoch_->finished.load(std::memory_order_acquire);
+    }
+
+    // Full read-set validation, O(reads); skipped per the CommitEpoch
+    // contract above when the heuristic is on.
+    void validate_on_open() {
+        const std::uint64_t s =
+            epoch_->started.load(std::memory_order_acquire);
+        const std::uint64_t f =
+            epoch_->finished.load(std::memory_order_acquire);
+        if (cfg_->commit_counter_heuristic && s == last_started_ &&
+            f == last_finished_ && f == s)
+            return;
+        for (const auto& e : reads_) {
+            if (load_word(e.var) != e.word) abort();
+        }
+        validated_reads_ += reads_.size();
+        last_started_ = s;
+        last_finished_ = f;
+    }
+
+    bool commit() {
+        if (writes_.empty()) {
+            // The read set was revalidated at every open; the snapshot is
+            // consistent as of the last validation.
+            return true;
+        }
+
+        // Announce before taking any lock; complete on every exit path so
+        // the counters re-converge and readers can skip again.
+        epoch_->started.fetch_add(1, std::memory_order_acq_rel);
+        bool ok = lock_write_set(cfg_->lock_spin);
+        if (ok) {
+            ok = validate_reads();
+            if (ok) {
+                for (auto& rec : writes_)
+                    // Bump the write serial; the store also releases the
+                    // lock.
+                    rec->publish(((rec->locked_word >> 1) + 1) << 1);
+            } else {
+                unlock_all();
+            }
+        }
+        epoch_->finished.fetch_add(1, std::memory_order_release);
+        return ok;
+    }
+
+    CommitEpoch* epoch_;
+    const VstmConfig* cfg_;
+    std::uint64_t last_started_ = 0;
+    std::uint64_t last_finished_ = 0;
+    std::uint64_t validated_reads_ = 0;
+};
+
+}  // namespace vstm
+
+class VstmAdapter : public BaselineAdapter<VstmAdapter> {
+ public:
+    template <typename T>
+    using Var = wstm::Var<T>;
+    using Txn = vstm::Txn;
+
+    static constexpr const char* kEngineName = "VSTM";
+
+    explicit VstmAdapter(VstmConfig cfg = VstmConfig{}) : cfg_(cfg) {}
+    VstmAdapter(const VstmAdapter&) = delete;
+    VstmAdapter& operator=(const VstmAdapter&) = delete;
+
+    Txn txn_begin(Context&) { return Txn(&epoch_, &cfg_); }
+    unsigned max_retries() const { return cfg_.max_retries; }
+
+    const VstmConfig& config() const { return cfg_; }
+
+ private:
+    VstmConfig cfg_;
+    vstm::CommitEpoch epoch_;
+};
+
+}  // namespace stm
+}  // namespace chronostm

@@ -1,0 +1,179 @@
+// Shared word-STM machinery for the optimistic baselines (TL2 and the
+// validation STM): the versioned-lock variable types, the seqlock value
+// read, the buffered write set, and the address-ordered lock /
+// validate / unlock commit building blocks. Each engine keeps only its
+// version-management logic (TL2's global version clock, VSTM's
+// validation) and its publish word computation.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include <chronostm/core/lsa_stm.hpp>
+
+namespace chronostm {
+namespace stm {
+namespace wstm {
+
+template <typename Derived>
+class TxnBase;
+
+// Versioned lock word: (version << 1) | lock_bit. Unlike the LSA core the
+// locked word keeps the version (these engines have no descriptors).
+class VarBase {
+ public:
+    VarBase() = default;
+    VarBase(const VarBase&) = delete;
+    VarBase& operator=(const VarBase&) = delete;
+    virtual ~VarBase() = default;
+
+ protected:
+    template <typename D>
+    friend class TxnBase;
+    std::atomic<std::uint64_t> vlock_{0};
+};
+
+template <typename T>
+class Var : public VarBase {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Var<T> requires a trivially copyable T (seqlock reads)");
+
+ public:
+    explicit Var(T initial) : value_(initial) {}
+
+    T unsafe_peek() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+    template <typename D>
+    friend class TxnBase;
+    std::atomic<T> value_;
+};
+
+// CRTP base owning the read/write sets; derived transactions compose
+// read() and commit() from the protected helpers below.
+template <typename Derived>
+class TxnBase {
+ public:
+    template <typename T>
+    void write(Var<T>& var, T v) {
+        if (auto* rec = find_write(&var)) {
+            static_cast<WriteRec<T>*>(rec)->value = std::move(v);
+            return;
+        }
+        writes_.push_back(std::make_unique<WriteRec<T>>(&var, std::move(v)));
+    }
+
+    [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+ protected:
+    struct ReadEntry {
+        VarBase* var;
+        std::uint64_t word;
+    };
+
+    struct WriteRecBase {
+        VarBase* var;
+        std::uint64_t locked_word = 0;
+        explicit WriteRecBase(VarBase* v) : var(v) {}
+        virtual ~WriteRecBase() = default;
+        virtual void publish(std::uint64_t new_word) = 0;
+    };
+
+    template <typename T>
+    struct WriteRec : WriteRecBase {
+        Var<T>* tvar;
+        T value;
+        WriteRec(Var<T>* v, T val)
+            : WriteRecBase(v), tvar(v), value(std::move(val)) {}
+        // Store the buffered value and swing the lock word to `new_word`
+        // (which both sets the new version and releases the lock). The
+        // release fence keeps the earlier lock store visible before the
+        // data store -- the writer half of the seqlock.
+        void publish(std::uint64_t new_word) override {
+            std::atomic_thread_fence(std::memory_order_release);
+            tvar->value_.store(value, std::memory_order_relaxed);
+            tvar->vlock_.store(new_word, std::memory_order_release);
+        }
+    };
+
+    std::uint64_t load_word(VarBase* var) const {
+        return var->vlock_.load(std::memory_order_acquire);
+    }
+
+    // Reader half of the seqlock: value read under unlocked word `w1`;
+    // false = raced with a commit, caller retries.
+    template <typename T>
+    bool read_value(Var<T>& var, std::uint64_t w1, T& out) {
+        out = var.value_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return var.vlock_.load(std::memory_order_acquire) == w1;
+    }
+
+    WriteRecBase* find_write(VarBase* var) {
+        for (auto& rec : writes_)
+            if (rec->var == var) return rec.get();
+        return nullptr;
+    }
+
+    // Lock the write set in address order with a bounded spin per var;
+    // false = budget exceeded (acquired prefix already released).
+    bool lock_write_set(unsigned lock_spin) {
+        std::sort(writes_.begin(), writes_.end(),
+                  [](const auto& a, const auto& b) { return a->var < b->var; });
+        for (std::size_t locked = 0; locked < writes_.size(); ++locked) {
+            auto& rec = writes_[locked];
+            std::uint64_t w = rec->var->vlock_.load(std::memory_order_relaxed);
+            unsigned spins = 0;
+            for (;;) {
+                if (!(w & 1u) &&
+                    rec->var->vlock_.compare_exchange_weak(
+                        w, w | 1u, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    rec->locked_word = w;
+                    break;
+                }
+                if (++spins > lock_spin) {
+                    unlock_prefix(locked);
+                    return false;
+                }
+                cpu_relax();
+                w = rec->var->vlock_.load(std::memory_order_relaxed);
+            }
+        }
+        return true;
+    }
+
+    // Every read must be unchanged, or changed only by our own lock.
+    bool validate_reads() {
+        for (const auto& e : reads_) {
+            const std::uint64_t cur =
+                e.var->vlock_.load(std::memory_order_acquire);
+            if (cur == e.word) continue;
+            if (cur == (e.word | 1u) && find_write(e.var) != nullptr)
+                continue;
+            return false;
+        }
+        return true;
+    }
+
+    void unlock_all() { unlock_prefix(writes_.size()); }
+
+    std::vector<ReadEntry> reads_;
+    std::vector<std::unique_ptr<WriteRecBase>> writes_;
+
+ private:
+    void unlock_prefix(std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            writes_[i]->var->vlock_.store(writes_[i]->locked_word,
+                                          std::memory_order_release);
+    }
+};
+
+}  // namespace wstm
+}  // namespace stm
+}  // namespace chronostm

@@ -33,7 +33,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "util/pause.hpp"
+#include <chronostm/util/pause.hpp>
 
 namespace chronostm {
 namespace tb {

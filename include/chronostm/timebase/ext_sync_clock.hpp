@@ -19,7 +19,7 @@
 #include <memory>
 #include <vector>
 
-#include "timebase/common.hpp"
+#include <chronostm/timebase/common.hpp>
 
 #include <chrono>
 

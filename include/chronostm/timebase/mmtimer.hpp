@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "timebase/common.hpp"
+#include <chronostm/timebase/common.hpp>
 
 namespace chronostm {
 namespace tb {

@@ -14,7 +14,7 @@
 #include <chrono>
 #include <cstdint>
 
-#include "timebase/common.hpp"
+#include <chronostm/timebase/common.hpp>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>

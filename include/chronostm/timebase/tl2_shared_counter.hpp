@@ -18,7 +18,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "timebase/common.hpp"
+#include <chronostm/timebase/common.hpp>
 
 namespace chronostm {
 namespace tb {

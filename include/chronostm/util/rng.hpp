@@ -28,6 +28,9 @@ class Rng {
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    // True with probability p (clamped to [0, 1]).
+    bool chance(double p) { return real01() < p; }
+
  private:
     std::uint64_t state_;
 };

@@ -1,0 +1,102 @@
+// The paper's bank workload: short transfer transactions (two accounts)
+// racing whole-bank audits (one long read-only transaction over every
+// account). Transfers conserve the total by construction, so
+// unsafe_total() == expected_total() after a quiesced run is the
+// end-to-end atomicity check every driver reports. Optional Zipf skew
+// concentrates transfers on hot accounts for the contention studies.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <chronostm/util/rng.hpp>
+
+namespace chronostm {
+namespace wl {
+
+template <typename A>
+class Bank {
+    using Var = typename A::template Var<long>;
+
+ public:
+    // `zipf_s` = 0 draws accounts uniformly; larger values skew access
+    // toward low-numbered accounts with Zipf exponent s.
+    Bank(unsigned accounts, long initial, double zipf_s = 0.0)
+        : initial_(initial) {
+        accounts_.reserve(accounts);
+        for (unsigned i = 0; i < accounts; ++i)
+            accounts_.push_back(std::make_unique<Var>(initial));
+        if (zipf_s > 0) {
+            cdf_.reserve(accounts);
+            double mass = 0;
+            for (unsigned i = 0; i < accounts; ++i) {
+                mass += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+                cdf_.push_back(mass);
+            }
+            for (auto& c : cdf_) c /= mass;
+        }
+    }
+
+    unsigned size() const { return static_cast<unsigned>(accounts_.size()); }
+
+    // Move a small random amount between two distinct accounts.
+    void transfer(A& a, typename A::Context& ctx, Rng& rng) {
+        const unsigned src = pick(rng);
+        unsigned dst = pick(rng);
+        if (dst == src) dst = (dst + 1) % size();
+        const long amount = static_cast<long>(rng.below(10)) + 1;
+        a.run(ctx, [&](typename A::Txn& tx) {
+            tx.write(*accounts_[src], tx.read(*accounts_[src]) - amount);
+            tx.write(*accounts_[dst], tx.read(*accounts_[dst]) + amount);
+        });
+    }
+
+    // Whole-bank audit: one read-only transaction over every account.
+    // Multi-version LSA serves these from consistent-but-old snapshots;
+    // validation-based STMs pay O(accounts^2) validation work.
+    long audit(A& a, typename A::Context& ctx) {
+        return a.run(ctx, [&](typename A::Txn& tx) {
+            long sum = 0;
+            for (auto& acct : accounts_) sum += tx.read(*acct);
+            return sum;
+        });
+    }
+
+    // Quiesced-state checks (threads joined).
+    long unsafe_total() const {
+        long sum = 0;
+        for (const auto& acct : accounts_) sum += acct->unsafe_peek();
+        return sum;
+    }
+
+    long expected_total() const {
+        return initial_ * static_cast<long>(accounts_.size());
+    }
+
+ private:
+    unsigned pick(Rng& rng) {
+        if (cdf_.empty())
+            return static_cast<unsigned>(rng.below(accounts_.size()));
+        const double u = rng.real01();
+        // Binary search the precomputed Zipf CDF.
+        unsigned lo = 0, hi = static_cast<unsigned>(cdf_.size()) - 1;
+        while (lo < hi) {
+            const unsigned mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    long initial_;
+    std::vector<std::unique_ptr<Var>> accounts_;
+    std::vector<double> cdf_;
+};
+
+}  // namespace wl
+}  // namespace chronostm

@@ -1,0 +1,90 @@
+// Read-dominated integer-set workload over a fixed-shape open hash table:
+// the paper's "short transactions" counterpart to the whole-bank audit.
+// Buckets are fixed arrays of slots (key or kEmpty), so membership tests
+// read at most slots_per_bucket vars and updates write exactly one.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace chronostm {
+namespace wl {
+
+template <typename A>
+class IntsetHash {
+    using Var = typename A::template Var<long>;
+
+ public:
+    static constexpr long kEmpty = std::numeric_limits<long>::min();
+
+    explicit IntsetHash(unsigned buckets, unsigned slots_per_bucket = 16)
+        : buckets_(buckets), slots_(slots_per_bucket) {
+        vars_.reserve(static_cast<std::size_t>(buckets) * slots_per_bucket);
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(buckets) * slots_per_bucket; ++i)
+            vars_.push_back(std::make_unique<Var>(kEmpty));
+    }
+
+    // Insert returns false if the key is present (or the bucket is full --
+    // size the table so that cannot happen in a measured run).
+    bool insert(A& a, typename A::Context& ctx, long key) {
+        const std::size_t base = bucket_of(key);
+        return a.run(ctx, [&](typename A::Txn& tx) {
+            long free_slot = -1;
+            for (unsigned s = 0; s < slots_; ++s) {
+                const long v = tx.read(*vars_[base + s]);
+                if (v == key) return false;
+                if (v == kEmpty && free_slot < 0) free_slot = s;
+            }
+            if (free_slot < 0) return false;
+            tx.write(*vars_[base + static_cast<unsigned>(free_slot)], key);
+            return true;
+        });
+    }
+
+    bool remove(A& a, typename A::Context& ctx, long key) {
+        const std::size_t base = bucket_of(key);
+        return a.run(ctx, [&](typename A::Txn& tx) {
+            for (unsigned s = 0; s < slots_; ++s) {
+                if (tx.read(*vars_[base + s]) == key) {
+                    tx.write(*vars_[base + s], kEmpty);
+                    return true;
+                }
+            }
+            return false;
+        });
+    }
+
+    bool contains(A& a, typename A::Context& ctx, long key) {
+        const std::size_t base = bucket_of(key);
+        return a.run(ctx, [&](typename A::Txn& tx) {
+            for (unsigned s = 0; s < slots_; ++s)
+                if (tx.read(*vars_[base + s]) == key) return true;
+            return false;
+        });
+    }
+
+    // Quiesced-state census.
+    std::size_t unsafe_size() const {
+        std::size_t n = 0;
+        for (const auto& v : vars_)
+            if (v->unsafe_peek() != kEmpty) ++n;
+        return n;
+    }
+
+ private:
+    std::size_t bucket_of(long key) const {
+        const auto h = static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h % buckets_) * slots_;
+    }
+
+    unsigned buckets_;
+    unsigned slots_;
+    std::vector<std::unique_ptr<Var>> vars_;
+};
+
+}  // namespace wl
+}  // namespace chronostm

@@ -1,0 +1,109 @@
+// Fixed-duration throughput runner shared by every paper-table driver:
+// spawns the worker threads, pins them (best effort), runs a warmup phase
+// that is not counted, then a measured window, and aggregates per-thread
+// operation counts. The factory is invoked ON the worker thread, so
+// per-thread STM contexts and RNGs are created where they will be used.
+//
+// Driver-facing flags all map onto RunSpec: --threads -> RunSpec::threads,
+// --duration-ms -> RunSpec::duration_ms (warmup defaults to a fifth of the
+// measured window in every driver).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <chronostm/util/affinity.hpp>
+
+namespace chronostm {
+namespace wl {
+
+struct RunSpec {
+    unsigned threads = 1;
+    double warmup_ms = 50;    // uncounted ramp-up
+    double duration_ms = 250;  // measured window
+    bool pin_threads = true;   // best-effort CPU pinning (Linux)
+};
+
+struct RunResult {
+    std::vector<std::uint64_t> per_thread;  // measured ops per worker
+    std::uint64_t total_ops = 0;
+    double seconds = 0;        // actual measured-window length
+    double mops_per_sec = 0;   // total_ops / seconds / 1e6
+};
+
+// make_op(tid) must return a callable executed in a tight loop; whatever
+// state it needs (context, rng) should live in the closure. Phases are
+// fenced with one shared atomic the workers poll between operations.
+template <typename Factory>
+RunResult run_throughput(const RunSpec& spec, Factory&& make_op) {
+    enum Phase : int { kSetup, kWarmup, kMeasure, kStop };
+    std::atomic<int> phase{kSetup};
+    std::atomic<unsigned> ready{0};
+
+    const unsigned n = spec.threads == 0 ? 1 : spec.threads;
+    std::vector<std::uint64_t> counts(n, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+
+    for (unsigned tid = 0; tid < n; ++tid) {
+        workers.emplace_back([&, tid] {
+            if (spec.pin_threads) pin_to_cpu(tid);
+            auto op = make_op(tid);
+            ready.fetch_add(1, std::memory_order_acq_rel);
+            while (phase.load(std::memory_order_acquire) == kSetup)
+                std::this_thread::yield();
+            std::uint64_t measured = 0;
+            for (;;) {
+                const int p = phase.load(std::memory_order_relaxed);
+                if (p == kStop) break;
+                op();
+                if (p == kMeasure) ++measured;
+            }
+            counts[tid] = measured;
+        });
+    }
+
+    while (ready.load(std::memory_order_acquire) < n)
+        std::this_thread::yield();
+
+    const auto sleep_ms = [](double ms) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            ms > 0 ? ms : 0));
+    };
+    phase.store(kWarmup, std::memory_order_release);
+    sleep_ms(spec.warmup_ms);
+    const auto t0 = std::chrono::steady_clock::now();
+    phase.store(kMeasure, std::memory_order_release);
+    sleep_ms(spec.duration_ms);
+    phase.store(kStop, std::memory_order_release);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (auto& w : workers) w.join();
+
+    RunResult res;
+    res.per_thread = std::move(counts);
+    for (const auto c : res.per_thread) res.total_ops += c;
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (res.seconds > 0)
+        res.mops_per_sec =
+            static_cast<double>(res.total_ops) / res.seconds / 1e6;
+    return res;
+}
+
+// The paper's Figure 2 sweeps 1..16 processors; we keep the canonical
+// power-of-two points. max_threads caps the sweep (0 = the paper's 16).
+inline std::vector<unsigned> figure2_thread_sweep(unsigned max_threads) {
+    const unsigned cap = max_threads == 0 ? 16 : max_threads;
+    std::vector<unsigned> sweep;
+    for (const unsigned n : {1u, 2u, 4u, 8u, 16u})
+        if (n <= cap) sweep.push_back(n);
+    if (sweep.empty()) sweep.push_back(1);
+    return sweep;
+}
+
+}  // namespace wl
+}  // namespace chronostm

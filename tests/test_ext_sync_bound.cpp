@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "timebase/ext_sync_clock.hpp"
+#include <chronostm/timebase/ext_sync_clock.hpp>
 
 #include "test_util.hpp"
 

@@ -1,19 +1,28 @@
 // Tier-1 STM semantics: atomicity of concurrent bank-style transfers.
-// 8 threads move money between 32 accounts through transactions; if any
-// transfer is torn or lost the total changes. Run over three distinct time
-// bases to exercise the pluggable layer, and cross-check the commit count
-// against the work actually submitted.
+// Threads move money between accounts through transactions; if any
+// transfer is torn or lost the total changes.
+//
+// Two layers are exercised:
+//  * the LSA core directly, over three distinct time bases (the pluggable
+//    time-base layer), cross-checking the commit count against the work
+//    actually submitted;
+//  * the stm/adapter.hpp facade, over every engine behind it -- LSA-RT,
+//    TL2, the validation STM with and without the commit-counter
+//    heuristic, and the global lock -- so all comparison baselines pass
+//    the same atomicity bar as the paper's system.
 
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/ext_sync_clock.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
-#include "util/rng.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/ext_sync_clock.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/util/rng.hpp>
+#include <chronostm/workload/bank.hpp>
 
 #include "test_util.hpp"
 
@@ -64,6 +73,35 @@ void check_bank(TB& tbase, const char* name) {
               static_cast<unsigned long long>(stats.commits()));
 }
 
+// The same bar through the adapter facade, generic over the engine, using
+// the actual workload the comparison benches measure (wl::Bank).
+constexpr unsigned kFacadeThreads = 4;
+constexpr int kFacadePerThread = 1200;
+
+template <typename A>
+void check_bank_facade(A& adapter, const char* name) {
+    wl::Bank<A> bank(kAccounts, kInitial);
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kFacadeThreads; ++t) {
+        threads.emplace_back([&adapter, &bank, t] {
+            auto ctx = adapter.make_context();
+            Rng rng(t * 461 + 29);
+            for (int i = 0; i < kFacadePerThread; ++i)
+                bank.transfer(adapter, ctx, rng);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    CHECK_MSG(bank.unsafe_total() == bank.expected_total(),
+              "engine %s: total %ld", name, bank.unsafe_total());
+    const auto stats = adapter.collected_stats();
+    CHECK_MSG(stats.commits() == static_cast<std::uint64_t>(kFacadeThreads) *
+                                     kFacadePerThread,
+              "engine %s: commits %llu", name,
+              static_cast<unsigned long long>(stats.commits()));
+}
+
 }  // namespace
 
 int main() {
@@ -88,6 +126,79 @@ int main() {
         auto tbase = tb::ExtSyncTimeBase::with_static_params(ptrs, 0, 10'000);
         check_bank(*tbase, "ExtSync(dev=10us)");
     }
+
+    // Every engine behind the facade passes the same suite.
+    {
+        tb::SharedCounterTimeBase tbase;
+        stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
+        check_bank_facade(a, "LSA-RT/SharedCounter");
+    }
+    {
+        tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
+        stm::LsaAdapter<tb::PerfectClockTimeBase> a(tbase);
+        check_bank_facade(a, "LSA-RT/HardwareClock");
+    }
+    {
+        stm::Tl2Adapter a;
+        check_bank_facade(a, "TL2");
+    }
+    {
+        stm::VstmAdapter a;
+        check_bank_facade(a, "VSTM/cc-heuristic");
+    }
+    {
+        stm::VstmConfig cfg;
+        cfg.commit_counter_heuristic = false;
+        stm::VstmAdapter a(cfg);
+        check_bank_facade(a, "VSTM/always-validate");
+    }
+    {
+        stm::GlobalLockAdapter a;
+        check_bank_facade(a, "GlobalLock");
+    }
+
+    // Explicit txn_begin/txn_commit facade path (single-threaded sanity).
+    {
+        tb::SharedCounterTimeBase tbase;
+        stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
+        auto ctx = a.make_context();
+        TVar<long, tb::SharedCounterTimeBase> v(5);
+        auto tx = a.txn_begin(ctx);
+        stm::LsaAdapter<tb::SharedCounterTimeBase>::Txn h(tx);
+        h.write(v, h.read(v) + 1);
+        CHECK(a.txn_commit(ctx, tx));
+        CHECK(v.unsafe_peek() == 6);
+        CHECK(ctx.stats().commits() == 1);
+    }
+    {
+        stm::Tl2Adapter a;
+        auto ctx = a.make_context();
+        stm::Tl2Adapter::Var<long> v(5);
+        auto tx = a.txn_begin(ctx);
+        tx.write(v, tx.read(v) + 1);
+        CHECK(a.txn_commit(ctx, tx));
+        CHECK(v.unsafe_peek() == 6);
+    }
+    {
+        stm::VstmAdapter a;
+        auto ctx = a.make_context();
+        stm::VstmAdapter::Var<long> v(5);
+        auto tx = a.txn_begin(ctx);
+        tx.write(v, tx.read(v) + 1);
+        CHECK(a.txn_commit(ctx, tx));
+        CHECK(v.unsafe_peek() == 6);
+    }
+    {
+        stm::GlobalLockAdapter a;
+        auto ctx = a.make_context();
+        stm::GlobalLockAdapter::Var<long> v(5);
+        auto tx = a.txn_begin(ctx);
+        tx.write(v, tx.read(v) + 1);
+        CHECK(a.txn_commit(ctx, tx));
+        CHECK(v.unsafe_peek() == 6);
+        CHECK(ctx.stats().commits() == 1);
+    }
+
     std::printf("test_stm_atomicity: PASS\n");
     return 0;
 }

@@ -7,8 +7,8 @@
 #include <atomic>
 #include <thread>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/shared_counter.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
 
 #include "test_util.hpp"
 

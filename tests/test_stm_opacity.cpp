@@ -3,7 +3,12 @@
 // between the pair; readers -- inside the transaction body, i.e. including
 // attempts that will never commit -- must always observe the invariant and
 // stable repeated reads. LSA gives this by construction: every read is
-// validated against the snapshot interval at read time.
+// validated against the snapshot interval at read time. The same bar is
+// then applied through the adapter facade to every comparison engine
+// (TL2 revalidates against its read version, the validation STM
+// revalidates the read set at each open, the global lock is trivially
+// consistent): a baseline that only "mostly" provides opacity would
+// poison every comparison table built on it.
 
 #include <atomic>
 #include <chrono>
@@ -11,9 +16,10 @@
 #include <thread>
 #include <vector>
 
-#include "core/lsa_stm.hpp"
-#include "timebase/shared_counter.hpp"
-#include "util/rng.hpp"
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/util/rng.hpp>
 
 #include "test_util.hpp"
 
@@ -26,39 +32,38 @@ using Tx = Transaction<TB>;
 
 constexpr long kTotal = 200;
 
-}  // namespace
-
-int main() {
-    TB tbase;
-    LsaStm<TB> stm(tbase);
-    TVar<long, TB> a(kTotal / 2), b(kTotal / 2);
+// Facade version, generic over the engine.
+template <typename A>
+void check_opacity_facade(A& adapter, const char* name, int run_ms) {
+    using Var = typename A::template Var<long>;
+    Var a(kTotal / 2), b(kTotal / 2);
 
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> reader_txns{0};
     std::atomic<int> violations{0};
 
     std::vector<std::thread> threads;
-    for (int w = 0; w < 4; ++w) {
+    for (int w = 0; w < 2; ++w) {
         threads.emplace_back([&, w] {
-            auto ctx = stm.make_context();
+            auto ctx = adapter.make_context();
             Rng rng(w * 131 + 7);
             while (!stop.load(std::memory_order_acquire)) {
                 const long amount = static_cast<long>(rng.below(20)) + 1;
-                ctx.run([&](Tx& tx) {
-                    a.set(tx, a.get(tx) - amount);
-                    b.set(tx, b.get(tx) + amount);
+                adapter.run(ctx, [&](typename A::Txn& tx) {
+                    tx.write(a, tx.read(a) - amount);
+                    tx.write(b, tx.read(b) + amount);
                 });
             }
         });
     }
-    for (int r = 0; r < 4; ++r) {
+    for (int r = 0; r < 2; ++r) {
         threads.emplace_back([&] {
-            auto ctx = stm.make_context();
+            auto ctx = adapter.make_context();
             while (!stop.load(std::memory_order_acquire)) {
-                ctx.run([&](Tx& tx) {
-                    const long a1 = a.get(tx);
-                    const long b1 = b.get(tx);
-                    const long a2 = a.get(tx);
+                adapter.run(ctx, [&](typename A::Txn& tx) {
+                    const long a1 = tx.read(a);
+                    const long b1 = tx.read(b);
+                    const long a2 = tx.read(a);
                     if (a1 + b1 != kTotal || a1 != a2)
                         violations.fetch_add(1, std::memory_order_relaxed);
                 });
@@ -67,14 +72,97 @@ int main() {
         });
     }
 
-    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
     stop.store(true, std::memory_order_release);
     for (auto& th : threads) th.join();
 
-    CHECK(violations.load() == 0);
-    CHECK(reader_txns.load() > 0);
-    CHECK(a.unsafe_peek() + b.unsafe_peek() == kTotal);
-    std::printf("test_stm_opacity: PASS (%llu reader txns, 0 violations)\n",
-                static_cast<unsigned long long>(reader_txns.load()));
+    CHECK_MSG(violations.load() == 0, "engine %s: %d violations", name,
+              violations.load());
+    CHECK_MSG(reader_txns.load() > 0, "engine %s: no reader progress", name);
+    CHECK_MSG(a.unsafe_peek() + b.unsafe_peek() == kTotal,
+              "engine %s: total %ld", name,
+              a.unsafe_peek() + b.unsafe_peek());
+}
+
+}  // namespace
+
+int main() {
+    // Core layer, as shipped in PR 1.
+    {
+        TB tbase;
+        LsaStm<TB> stm(tbase);
+        TVar<long, TB> a(kTotal / 2), b(kTotal / 2);
+
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> reader_txns{0};
+        std::atomic<int> violations{0};
+
+        std::vector<std::thread> threads;
+        for (int w = 0; w < 4; ++w) {
+            threads.emplace_back([&, w] {
+                auto ctx = stm.make_context();
+                Rng rng(w * 131 + 7);
+                while (!stop.load(std::memory_order_acquire)) {
+                    const long amount = static_cast<long>(rng.below(20)) + 1;
+                    ctx.run([&](Tx& tx) {
+                        a.set(tx, a.get(tx) - amount);
+                        b.set(tx, b.get(tx) + amount);
+                    });
+                }
+            });
+        }
+        for (int r = 0; r < 4; ++r) {
+            threads.emplace_back([&] {
+                auto ctx = stm.make_context();
+                while (!stop.load(std::memory_order_acquire)) {
+                    ctx.run([&](Tx& tx) {
+                        const long a1 = a.get(tx);
+                        const long b1 = b.get(tx);
+                        const long a2 = a.get(tx);
+                        if (a1 + b1 != kTotal || a1 != a2)
+                            violations.fetch_add(1, std::memory_order_relaxed);
+                    });
+                    reader_txns.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        }
+
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        stop.store(true, std::memory_order_release);
+        for (auto& th : threads) th.join();
+
+        CHECK(violations.load() == 0);
+        CHECK(reader_txns.load() > 0);
+        CHECK(a.unsafe_peek() + b.unsafe_peek() == kTotal);
+        std::printf("core: %llu reader txns, 0 violations\n",
+                    static_cast<unsigned long long>(reader_txns.load()));
+    }
+
+    // Every engine behind the facade passes the same bar.
+    {
+        tb::SharedCounterTimeBase tbase;
+        stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
+        check_opacity_facade(a, "LSA-RT/SharedCounter", 150);
+    }
+    {
+        stm::Tl2Adapter a;
+        check_opacity_facade(a, "TL2", 150);
+    }
+    {
+        stm::VstmAdapter a;
+        check_opacity_facade(a, "VSTM/cc-heuristic", 150);
+    }
+    {
+        stm::VstmConfig cfg;
+        cfg.commit_counter_heuristic = false;
+        stm::VstmAdapter a(cfg);
+        check_opacity_facade(a, "VSTM/always-validate", 150);
+    }
+    {
+        stm::GlobalLockAdapter a;
+        check_opacity_facade(a, "GlobalLock", 100);
+    }
+
+    std::printf("test_stm_opacity: PASS\n");
     return 0;
 }

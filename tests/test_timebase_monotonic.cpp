@@ -8,11 +8,11 @@
 #include <thread>
 #include <vector>
 
-#include "timebase/ext_sync_clock.hpp"
-#include "timebase/mmtimer.hpp"
-#include "timebase/perfect_clock.hpp"
-#include "timebase/shared_counter.hpp"
-#include "timebase/tl2_shared_counter.hpp"
+#include <chronostm/timebase/ext_sync_clock.hpp>
+#include <chronostm/timebase/mmtimer.hpp>
+#include <chronostm/timebase/perfect_clock.hpp>
+#include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/timebase/tl2_shared_counter.hpp>
 
 #include "test_util.hpp"
 
