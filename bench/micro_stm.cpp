@@ -12,6 +12,7 @@
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/timebase/shared_counter.hpp>
+#include <chronostm/util/gbench_main.hpp>
 
 namespace {
 
@@ -92,4 +93,6 @@ BENCHMARK(BM_Update_Counter)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_Update_Clock)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_ReadAfterWrite_Counter);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return chronostm::gbench_main_with_json(argc, argv);
+}

@@ -8,7 +8,9 @@
 
 #include <memory>
 
+#include <chronostm/timebase/batched_counter.hpp>
 #include <chronostm/timebase/ext_sync_clock.hpp>
+#include <chronostm/util/gbench_main.hpp>
 #include <chronostm/timebase/mmtimer.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/timebase/shared_counter.hpp>
@@ -20,6 +22,8 @@ using namespace chronostm;
 
 tb::SharedCounterTimeBase g_counter;
 tb::Tl2SharedCounterTimeBase g_tl2_counter;
+tb::BatchedCounterTimeBase g_batched_counter;       // default block size 8
+tb::BatchedCounterTimeBase g_batched_counter_64{64};  // throughput-tuned
 tb::PerfectClockTimeBase& perfect_clock() {
     static tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
     return tbase;
@@ -54,6 +58,15 @@ void BM_SharedCounter_GetNewTs(benchmark::State& s) {
 void BM_Tl2Counter_GetNewTs(benchmark::State& s) {
     bm_get_new_ts(s, g_tl2_counter);
 }
+void BM_BatchedCounter_GetTime(benchmark::State& s) {
+    bm_get_time(s, g_batched_counter);
+}
+void BM_BatchedCounter_GetNewTs(benchmark::State& s) {
+    bm_get_new_ts(s, g_batched_counter);
+}
+void BM_BatchedCounter64_GetNewTs(benchmark::State& s) {
+    bm_get_new_ts(s, g_batched_counter_64);
+}
 void BM_PerfectClock_GetTime(benchmark::State& s) {
     bm_get_time(s, perfect_clock());
 }
@@ -70,6 +83,9 @@ void BM_ExtSync_GetNewTs(benchmark::State& s) { bm_get_new_ts(s, ext_sync()); }
 BENCHMARK(BM_SharedCounter_GetTime);
 BENCHMARK(BM_SharedCounter_GetNewTs);
 BENCHMARK(BM_Tl2Counter_GetNewTs);
+BENCHMARK(BM_BatchedCounter_GetTime);
+BENCHMARK(BM_BatchedCounter_GetNewTs);
+BENCHMARK(BM_BatchedCounter64_GetNewTs);
 BENCHMARK(BM_PerfectClock_GetTime);
 BENCHMARK(BM_PerfectClock_GetNewTs);
 BENCHMARK(BM_MMTimer_GetTime);
@@ -77,9 +93,15 @@ BENCHMARK(BM_ExtSync_GetTime);
 BENCHMARK(BM_ExtSync_GetNewTs);
 
 // Contention scaling: the whole point of the paper in two benchmark lines.
+// The batched counter is the in-between: still a counter, but committers
+// touch the shared line once per block instead of once per stamp.
 BENCHMARK(BM_SharedCounter_GetNewTs)->Threads(2)->UseRealTime();
 BENCHMARK(BM_Tl2Counter_GetNewTs)->Threads(2)->UseRealTime();
+BENCHMARK(BM_BatchedCounter_GetNewTs)->Threads(2)->UseRealTime();
+BENCHMARK(BM_BatchedCounter64_GetNewTs)->Threads(2)->UseRealTime();
 BENCHMARK(BM_PerfectClock_GetTime)->Threads(2)->UseRealTime();
 BENCHMARK(BM_PerfectClock_GetNewTs)->Threads(2)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return chronostm::gbench_main_with_json(argc, argv);
+}

@@ -12,6 +12,7 @@
 #include <chronostm/stm/adapter.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
 #include <chronostm/workload/bank.hpp>
 #include <chronostm/workload/runner.hpp>
@@ -23,7 +24,8 @@ int main(int argc, char** argv) {
     cli.flag_i64("threads", 4, "worker threads")
         .flag_i64("accounts", 16, "accounts (small = hot)")
         .flag_f64("zipf", 0.9, "access skew")
-        .flag_i64("duration-ms", 250, "measured window per policy");
+        .flag_i64("duration-ms", 250, "measured window per policy")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -45,6 +47,15 @@ int main(int argc, char** argv) {
     Table t("policy comparison");
     t.set_header({"policy", "Mtx/s", "abort ratio", "conserved"});
     bool all_progress = true, all_conserved = true;
+    Json json;
+    json.obj_begin()
+        .kv("driver", "tab_contention")
+        .kv("threads", threads)
+        .kv("accounts", accounts)
+        .kv("zipf", zipf)
+        .kv("duration_ms", duration)
+        .key("rows")
+        .arr_begin();
 
     for (const char* policy :
          {"suicide", "aggressive", "polite", "karma", "timestamp"}) {
@@ -73,6 +84,12 @@ int main(int argc, char** argv) {
         const bool conserved = bank.unsafe_total() == bank.expected_total();
         t.add_row({policy, Table::num(res.mops_per_sec, 3),
                    Table::num(ratio, 4), conserved ? "yes" : "NO"});
+        json.obj_begin()
+            .kv("policy", policy)
+            .kv("mtxs", res.mops_per_sec)
+            .kv("abort_ratio", ratio)
+            .kv("conserved", conserved)
+            .obj_end();
         all_progress = all_progress && res.total_ops > 0;
         all_conserved = all_conserved && conserved;
     }
@@ -82,5 +99,10 @@ int main(int argc, char** argv) {
                 all_progress ? "PASS" : "FAIL");
     std::printf("SHAPE-CHECK conservation under every policy: %s\n",
                 all_conserved ? "PASS" : "FAIL");
+    json.arr_end()
+        .kv("all_progress", all_progress)
+        .kv("all_conserved", all_conserved)
+        .obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return (all_progress && all_conserved) ? 0 : 1;
 }

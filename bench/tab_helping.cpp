@@ -16,6 +16,7 @@
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
 #include <chronostm/util/table.hpp>
 #include <chronostm/workload/bank.hpp>
@@ -62,7 +63,8 @@ Cell run_cell(bool help, unsigned threads, double duration_ms) {
 
 int main(int argc, char** argv) {
     Cli cli("helping ablation: finish committers vs spin-wait them out");
-    cli.flag_i64("duration-ms", 200, "measured window per cell");
+    cli.flag_i64("duration-ms", 200, "measured window per cell")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -78,6 +80,13 @@ int main(int argc, char** argv) {
 
     const unsigned hw = hardware_threads();
     bool all_ok = true;
+    Json json;
+    json.obj_begin()
+        .kv("driver", "tab_helping")
+        .kv("host_threads", hw)
+        .kv("duration_ms", duration)
+        .key("rows")
+        .arr_begin();
     for (const unsigned n : {2u, hw, 2 * hw}) {
         const Cell with_help = run_cell(true, n, duration);
         const Cell spin = run_cell(false, n, duration);
@@ -87,6 +96,14 @@ int main(int argc, char** argv) {
                    Table::num(spin.mtx, 3),
                    (with_help.conserved && spin.conserved) ? "yes" : "NO",
                    n > hw ? "yes" : ""});
+        json.obj_begin()
+            .kv("threads", n)
+            .kv("help_mtxs", with_help.mtx)
+            .kv("helped_ops", with_help.helped)
+            .kv("spin_mtxs", spin.mtx)
+            .kv("conserved", with_help.conserved && spin.conserved)
+            .kv("oversubscribed", n > hw)
+            .obj_end();
     }
     t.add_note("oversubscribed rows force committer preemption: the regime "
                "where helping matters");
@@ -94,5 +111,7 @@ int main(int argc, char** argv) {
 
     std::printf("\nSHAPE-CHECK both modes conserve money everywhere: %s\n",
                 all_ok ? "PASS" : "FAIL");
+    json.arr_end().kv("all_conserved", all_ok).obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return all_ok ? 0 : 1;
 }

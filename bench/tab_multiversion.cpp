@@ -17,6 +17,7 @@
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
 #include <chronostm/util/table.hpp>
 
@@ -91,7 +92,8 @@ int main(int argc, char** argv) {
     Cli cli("multi-version ablation: long readers vs version history depth");
     cli.flag_i64("array", 256, "array length the reader sums")
         .flag_i64("rounds", 150, "reader transactions per point")
-        .flag_i64("writers", 1, "updater threads");
+        .flag_i64("writers", 1, "updater threads")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -108,12 +110,25 @@ int main(int argc, char** argv) {
 
     Table t("reader throughput by version-history depth");
     t.set_header({"max_versions", "sums/s", "reader abort ratio"});
+    Json json;
+    json.obj_begin()
+        .kv("driver", "tab_multiversion")
+        .kv("array", array_size)
+        .kv("rounds", static_cast<std::uint64_t>(rounds))
+        .kv("writers", writers)
+        .key("rows")
+        .arr_begin();
     std::vector<Point> points;
     for (const unsigned k : {1u, 2u, 4u, 8u, 16u}) {
         points.push_back(run_point(k, array_size, rounds, writers));
         t.add_row({Table::num(static_cast<std::uint64_t>(k)),
                    Table::num(points.back().reader_sums_per_sec, 1),
                    Table::num(points.back().reader_abort_ratio, 4)});
+        json.obj_begin()
+            .kv("max_versions", k)
+            .kv("sums_per_sec", points.back().reader_sums_per_sec)
+            .kv("reader_abort_ratio", points.back().reader_abort_ratio)
+            .obj_end();
     }
     t.print(std::cout);
 
@@ -123,5 +138,7 @@ int main(int argc, char** argv) {
                 "(K=1: %.4f -> K=16: %.4f): %s\n",
                 points.front().reader_abort_ratio,
                 points.back().reader_abort_ratio, improves ? "PASS" : "FAIL");
+    json.arr_end().kv("deeper_history_improves", improves).obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return improves ? 0 : 1;
 }

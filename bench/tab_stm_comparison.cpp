@@ -20,6 +20,7 @@
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
 #include <chronostm/workload/bank.hpp>
 #include <chronostm/workload/intset_hash.hpp>
@@ -97,7 +98,8 @@ double bench_audit(A& adapter, unsigned threads, double duration_ms,
 int main(int argc, char** argv) {
     Cli cli("STM comparison: LSA-RT vs TL2 vs validation STM vs global lock");
     cli.flag_i64("threads", 2, "worker threads")
-        .flag_i64("duration-ms", 250, "measured window per cell");
+        .flag_i64("duration-ms", 250, "measured window per cell")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -115,6 +117,22 @@ int main(int argc, char** argv) {
     double lsa_audit = 0, vstm_always_audit = 0, vstm_cc_audit = 0;
     bool conserved = true;
 
+    Json json;
+    json.obj_begin()
+        .kv("driver", "tab_stm_comparison")
+        .kv("threads", threads)
+        .kv("duration_ms", duration)
+        .key("rows")
+        .arr_begin();
+    const auto emit = [&](const char* name, double hs, double au) {
+        t.add_row({name, Table::num(hs, 3), Table::num(au, 1)});
+        json.obj_begin()
+            .kv("system", name)
+            .kv("hashset_mtxs", hs)
+            .kv("audits_ks", au)
+            .obj_end();
+    };
+
     {
         tb::SharedCounterTimeBase tbase;
         stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
@@ -123,7 +141,7 @@ int main(int argc, char** argv) {
         stm::LsaAdapter<tb::SharedCounterTimeBase> a2(tbase2);
         const double au = bench_audit(a2, threads, duration, conserved);
         lsa_audit = au;
-        t.add_row({"LSA-RT/SharedCounter", Table::num(hs, 3), Table::num(au, 1)});
+        emit("LSA-RT/SharedCounter", hs, au);
     }
     {
         tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
@@ -132,14 +150,14 @@ int main(int argc, char** argv) {
         tb::PerfectClockTimeBase tbase2(tb::PerfectSource::Auto);
         stm::LsaAdapter<tb::PerfectClockTimeBase> a2(tbase2);
         const double au = bench_audit(a2, threads, duration, conserved);
-        t.add_row({"LSA-RT/HardwareClock", Table::num(hs, 3), Table::num(au, 1)});
+        emit("LSA-RT/HardwareClock", hs, au);
     }
     {
         stm::Tl2Adapter a;
         const double hs = bench_hashset(a, threads, duration);
         stm::Tl2Adapter a2;
         const double au = bench_audit(a2, threads, duration, conserved);
-        t.add_row({"TL2", Table::num(hs, 3), Table::num(au, 1)});
+        emit("TL2", hs, au);
     }
     {
         stm::VstmAdapter a;  // commit-counter heuristic on
@@ -147,7 +165,7 @@ int main(int argc, char** argv) {
         stm::VstmAdapter a2;
         const double au = bench_audit(a2, threads, duration, conserved);
         vstm_cc_audit = au;
-        t.add_row({"VSTM/cc-heuristic", Table::num(hs, 3), Table::num(au, 1)});
+        emit("VSTM/cc-heuristic", hs, au);
     }
     {
         stm::VstmConfig cfg;
@@ -157,14 +175,14 @@ int main(int argc, char** argv) {
         stm::VstmAdapter a2(cfg);
         const double au = bench_audit(a2, threads, duration, conserved);
         vstm_always_audit = au;
-        t.add_row({"VSTM/always-validate", Table::num(hs, 3), Table::num(au, 1)});
+        emit("VSTM/always-validate", hs, au);
     }
     {
         stm::GlobalLockAdapter a;
         const double hs = bench_hashset(a, threads, duration);
         stm::GlobalLockAdapter a2;
         const double au = bench_audit(a2, threads, duration, conserved);
-        t.add_row({"GlobalLock", Table::num(hs, 3), Table::num(au, 1)});
+        emit("GlobalLock", hs, au);
     }
     t.add_note("audit txns read 128 accounts: validation-based STMs pay "
                "O(reads^2) total validation work per audit");
@@ -180,5 +198,11 @@ int main(int argc, char** argv) {
                 vstm_cc_audit, vstm_always_audit, shape_cc ? "PASS" : "FAIL");
     std::printf("SHAPE-CHECK conservation across every engine: %s\n",
                 conserved ? "PASS" : "FAIL");
+    json.arr_end()
+        .kv("shape_lsa_beats_always_validate", shape_lsa)
+        .kv("shape_cc_heuristic_helps", shape_cc)
+        .kv("conserved", conserved)
+        .obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return (shape_lsa && shape_cc && conserved) ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/timebase/ext_sync_clock.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
 #include <chronostm/util/table.hpp>
 #include <chronostm/workload/runner.hpp>
@@ -92,7 +93,8 @@ Result run_one(std::uint32_t dev_ns, unsigned max_versions, unsigned threads,
 int main(int argc, char** argv) {
     Cli cli("Section 4.3: effect of clock synchronization error on LSA-RT");
     cli.flag_i64("threads", 2, "worker threads")
-        .flag_i64("duration-ms", 250, "measured window per point");
+        .flag_i64("duration-ms", 250, "measured window per point")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -110,19 +112,34 @@ int main(int argc, char** argv) {
     bool all_conserved = true;
     double mv_small = 0, mv_big = 0;
 
+    Json json;
+    json.obj_begin()
+        .kv("driver", "tab_sync_error")
+        .kv("threads", threads)
+        .kv("duration_ms", duration)
+        .key("panels")
+        .arr_begin();
     for (const unsigned k : {8u, 1u}) {
         Table t(k == 1 ? "single-version (max_versions=1)"
                        : "multi-version (max_versions=8)");
         t.set_header({"dev (ns)", "Mtx/s", "abort ratio", "conserved"});
+        json.obj_begin().kv("max_versions", k).key("rows").arr_begin();
         for (const auto dev : devs) {
             const Result r = run_one(dev, k, threads, duration);
             t.add_row({Table::num(static_cast<std::uint64_t>(dev)),
                        Table::num(r.mtx, 3), Table::num(r.abort_ratio, 4),
                        r.conserved ? "yes" : "NO"});
+            json.obj_begin()
+                .kv("dev_ns", dev)
+                .kv("mtxs", r.mtx)
+                .kv("abort_ratio", r.abort_ratio)
+                .kv("conserved", r.conserved)
+                .obj_end();
             all_conserved = all_conserved && r.conserved;
             if (k == 8 && dev == 1) mv_small = r.abort_ratio;
             if (k == 8 && dev == 10'000'000) mv_big = r.abort_ratio;
         }
+        json.arr_end().obj_end();
         t.add_note("dev is the published per-stamp deviation bound; validity "
                    "ranges shrink by dev at each end");
         t.print(std::cout);
@@ -134,5 +151,7 @@ int main(int argc, char** argv) {
     std::printf("SHAPE-CHECK large deviation raises multi-version abort rate "
                 "(%.4f -> %.4f): %s\n",
                 mv_small, mv_big, mv_big >= mv_small ? "PASS" : "FAIL");
+    json.arr_end().kv("all_conserved", all_conserved).obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return all_conserved ? 0 : 1;
 }

@@ -12,7 +12,9 @@
 //  * Each TVar keeps a bounded history of old versions with validity
 //    ranges [from, until), so long read-only transactions can read a
 //    consistent-but-old snapshot instead of aborting (multi-version LSA;
-//    depth is StmConfig::max_versions).
+//    depth is StmConfig::max_versions). The history ring is allocated
+//    lazily on the first committed write that keeps history, so TVars in
+//    TL2-like max_versions=1 configurations stay a few words wide.
 //  * A transaction maintains a snapshot interval [lower, upper]. Reads pick
 //    the most recent version valid at `upper`; when the current version is
 //    too new the snapshot is lazily extended to the present (validating the
@@ -36,16 +38,35 @@
 //    aborts, never correctness, because commit validation is exact (lock
 //    words, not clocks) and snapshot reads never admit a version unless it
 //    was committed, in true time, before the snapshot.
+//
+// Hot-path cost model (the structure the micro_stm numbers hang off):
+//  * Read/write-set storage lives in the ThreadContext (detail::AccessSets)
+//    and is reused across attempts and transactions, so the steady state
+//    performs zero heap allocations per transaction. Write records are
+//    bump-allocated from a per-context arena (trivially destructible by
+//    construction, so arena reset is a pointer rewind) and type-erased
+//    through a plain function pointer instead of a vtable.
+//  * find_write -- on the read path, the write path, and commit-time read
+//    validation -- is a linear scan while the write set is small
+//    (<= detail::kInlineScan entries, cache-hot) and an open-addressing
+//    hash on TVar* beyond that, so large update transactions cost O(1) per
+//    lookup instead of O(W).
+//  * Read-after-read is deduplicated through the same inline-then-hash
+//    scheme: re-reading a var re-delivers the version already admitted to
+//    the snapshot and adds nothing to the read set, keeping try_extend and
+//    commit-time validation passes minimal.
 
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -134,6 +155,11 @@ namespace detail {
 
 inline constexpr unsigned kMaxHistory = 16;
 
+// Write/read sets scan linearly up to this many entries (a handful of
+// cache-hot compares beats any hash); past it an open-addressing index on
+// TVar* takes over and every lookup is O(1).
+inline constexpr std::size_t kInlineScan = 8;
+
 struct AbortTx {};
 
 struct StatsBlock {
@@ -170,16 +196,359 @@ enum TxStatus : int {
 template <typename TB>
 class TVarBase;
 
-// Type-erased write record: lives in the owning transaction's write set,
-// applied (value publish + orec unlock) by the owner or by a helper.
+// Type-erased write record: lives in the owning context's arena, applied
+// (value publish + orec unlock) by the owner or by a helper. Type erasure
+// is a plain function pointer -- no vtable, no virtual destructor -- so
+// records are trivially destructible and the arena can recycle them by
+// rewinding a pointer.
 template <typename TB>
-struct CommitRecBase {
-    TVarBase<TB>* var;
+struct CommitRec {
+    TVarBase<TB>* var = nullptr;
     std::uint64_t locked_word = 0;  // unlocked word this lock replaced
-    explicit CommitRecBase(TVarBase<TB>* v) : var(v) {}
-    virtual ~CommitRecBase() = default;
-    virtual void apply(std::uint64_t new_ts, std::uint64_t old_ts,
-                      unsigned keep_old) = 0;
+    void (*apply_fn)(CommitRec*, std::uint64_t new_ts, std::uint64_t old_ts,
+                     unsigned keep_old) = nullptr;
+    void apply(std::uint64_t new_ts, std::uint64_t old_ts,
+               unsigned keep_old) {
+        apply_fn(this, new_ts, old_ts, keep_old);
+    }
+};
+
+// Bump allocator for write records, reused across attempts/transactions:
+// reset() rewinds to the first chunk without freeing, so the steady state
+// allocates nothing. Records must be trivially destructible (enforced at
+// the placement-new site) -- reset never runs destructors.
+class WriteArena {
+ public:
+    static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+    void* allocate(std::size_t size, std::size_t align) {
+        for (;;) {
+            if (cur_ < chunks_.size()) {
+                // Align the actual address, not the chunk offset: new[]
+                // only guarantees 16-byte chunk bases, and an alignas(64)
+                // record type must still get 64-aligned storage.
+                const auto base = reinterpret_cast<std::uintptr_t>(
+                    chunks_[cur_].mem.get());
+                const std::uintptr_t p =
+                    (base + used_ + align - 1) & ~(align - 1);
+                const std::size_t off_end = (p - base) + size;
+                if (off_end <= chunks_[cur_].cap) {
+                    used_ = off_end;
+                    return reinterpret_cast<void*>(p);
+                }
+                ++cur_;
+                used_ = 0;
+                continue;
+            }
+            const std::size_t cap = std::max(kChunkBytes, size + align);
+            chunks_.push_back(
+                Chunk{std::make_unique<std::byte[]>(cap), cap});
+            cur_ = chunks_.size() - 1;
+            used_ = 0;
+        }
+    }
+
+    void reset() {
+        cur_ = 0;
+        used_ = 0;
+    }
+
+ private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> mem;
+        std::size_t cap;
+    };
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0;
+    std::size_t used_ = 0;
+};
+
+// Flat append-only array used for the read and write sets. Exists because
+// std::vector::push_back compiles to a reload-heavy sequence (the header
+// lives behind two pointers and the growth call clobbers registers) that
+// shows up at ~6ns/read on the hot path. Here the hot path is one
+// predictable branch plus an indexed store; growth is outlined and cold.
+// Capacity persists across clear(), so the steady state never allocates.
+template <typename T>
+class FlatVec {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "FlatVec is for POD access-set entries");
+
+ public:
+    void push_back(const T& v) {
+        if (__builtin_expect(n_ == cap_, 0)) grow();
+        data_[n_++] = v;
+    }
+
+    void clear() { n_ = 0; }
+    std::uint32_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+    T* begin() { return data_.get(); }
+    T* end() { return data_.get() + n_; }
+    const T* begin() const { return data_.get(); }
+    const T* end() const { return data_.get() + n_; }
+
+ private:
+    __attribute__((noinline)) void grow() {
+        const std::uint32_t cap = cap_ == 0 ? 64 : cap_ * 2;
+        auto bigger = std::make_unique<T[]>(cap);
+        for (std::uint32_t i = 0; i < n_; ++i) bigger[i] = data_[i];
+        data_ = std::move(bigger);
+        cap_ = cap;
+    }
+
+    std::unique_ptr<T[]> data_;
+    std::uint32_t n_ = 0;
+    std::uint32_t cap_ = 0;
+};
+
+// Open-addressing hash map from TVar* to a 32-bit payload, with O(1)
+// generation-tagged clear (stale buckets read as empty; no per-clear
+// memset -- a u32 generation wrap triggers one hard reset every 4G
+// transactions). Capacity persists across transactions; growth is the only
+// allocation and stops once the table covers the workload's largest access
+// set. find_or_stage remembers where an absent key's probe ended, so the
+// hot "miss then insert" pattern costs a single probe walk.
+class PtrIndex {
+ public:
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+    void clear() {
+        if (__builtin_expect(++gen_ == 0, 0)) hard_reset();
+        size_ = 0;
+    }
+
+    // Probes for `key`, growing first if an insert might not fit. Returns
+    // the mapped value, or kNone with the landing bucket staged for a
+    // subsequent commit_stage (valid until the next probe or clear).
+    __attribute__((always_inline)) inline std::uint32_t find_or_stage(const void* key) {
+        if (__builtin_expect((size_ + 1) * 4 > cap_ * 3, 0)) grow();
+        std::size_t i = slot_of(key);
+        for (;;) {
+            const Bucket& b = buckets_[i];
+            if (b.gen != gen_) {
+                stage_ = i;
+                return kNone;
+            }
+            if (b.key == key) return b.val;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    // Inserts at the bucket the last find_or_stage miss landed on.
+    __attribute__((always_inline)) inline void commit_stage(const void* key, std::uint32_t val) {
+        Bucket& b = buckets_[stage_];
+        b.key = key;
+        b.val = val;
+        b.gen = gen_;
+        ++size_;
+    }
+
+    void insert(const void* key, std::uint32_t val) {
+        if (find_or_stage(key) == kNone) commit_stage(key, val);
+        else update(key, val);
+    }
+
+ private:
+    struct Bucket {
+        const void* key = nullptr;
+        std::uint32_t val = 0;
+        std::uint32_t gen = 0;  // live iff gen == PtrIndex::gen_
+    };
+
+    std::size_t slot_of(const void* key) const {
+        // Fibonacci hashing; low bits of a TVar* are alignment zeros, so
+        // shift them out before mixing.
+        const auto h = static_cast<std::uint64_t>(
+                           reinterpret_cast<std::uintptr_t>(key) >> 4) *
+                       0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h >> shift_) & mask_;
+    }
+
+    void update(const void* key, std::uint32_t val) {
+        std::size_t i = slot_of(key);
+        while (buckets_[i].key != key) i = (i + 1) & mask_;
+        buckets_[i].val = val;
+    }
+
+    __attribute__((noinline)) void grow() {
+        auto old = std::move(buckets_);
+        const std::size_t old_cap = cap_;
+        const std::uint32_t live = gen_;
+        cap_ = cap_ == 0 ? 64 : cap_ * 2;
+        buckets_ = std::make_unique<Bucket[]>(cap_);
+        mask_ = cap_ - 1;
+        shift_ = 1;
+        while ((std::size_t{1} << (64 - shift_)) > cap_) ++shift_;
+        gen_ = 1;
+        size_ = 0;
+        for (std::size_t i = 0; i < old_cap; ++i)
+            if (old[i].gen == live) insert(old[i].key, old[i].val);
+    }
+
+    void hard_reset() {
+        for (std::size_t i = 0; i < cap_; ++i) buckets_[i].gen = 0;
+        gen_ = 1;
+    }
+
+    std::unique_ptr<Bucket[]> buckets_;
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 63;
+    std::size_t size_ = 0;
+    std::size_t stage_ = 0;
+    std::uint32_t gen_ = 1;
+};
+
+// The read set IS an open-addressing hash table on TVar*: nothing ever
+// needs the reads in insertion order (try_extend and commit validation
+// iterate in any order, rollback never touches them), so keeping a side
+// index next to an append array would double the per-read store traffic
+// for nothing. One probe answers "already read?" and, on a miss, leaves
+// the landing slot staged so admission is a single store. clear() is a
+// generation bump (u32; a wrap triggers one hard reset every 4G
+// transactions), and capacity persists, so the steady state never
+// allocates or memsets.
+template <typename TB>
+class ReadSet {
+ public:
+    struct Entry {
+        TVarBase<TB>* var;
+        std::uint64_t word;  // unlocked lock word observed at read time
+        std::uint32_t gen;   // live iff gen == ReadSet::gen_
+    };
+
+    void clear() {
+        if (__builtin_expect(++gen_ == 0, 0)) hard_reset();
+        // Capacity is a high-water mark, and all_of scans it in full -- so
+        // one huge read-only transaction would tax every later small
+        // transaction on this context. Shrink once the table has been
+        // nearly empty for a sustained stretch (hysteresis avoids
+        // realloc churn under alternating big/small transactions).
+        if (__builtin_expect(cap_ > 64 && size_ * 16 < cap_, 0)) {
+            if (++small_streak_ >= 128) shrink();
+        } else {
+            small_streak_ = 0;
+        }
+        size_ = 0;
+    }
+
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    // Probes for `var`: its live entry, or nullptr with the landing slot
+    // staged for commit_stage (valid until the next probe or clear).
+    Entry* find_or_stage(TVarBase<TB>* var) {
+        if (__builtin_expect((size_ + 1) * 4 > cap_ * 3, 0)) grow();
+        std::size_t i = slot_of(var);
+        for (;;) {
+            Entry& e = entries_[i];
+            if (e.gen != gen_) {
+                stage_ = i;
+                return nullptr;
+            }
+            if (e.var == var) return &e;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    // Inserts at the slot the last find_or_stage miss landed on.
+    void commit_stage(TVarBase<TB>* var, std::uint64_t word) {
+        Entry& e = entries_[stage_];
+        e.var = var;
+        e.word = word;
+        e.gen = gen_;
+        ++size_;
+    }
+
+    // Applies `f` to every live entry until it returns false; returns
+    // whether every entry passed. Iteration order is table order.
+    template <typename F>
+    bool all_of(F&& f) const {
+        for (std::size_t i = 0; i < cap_; ++i) {
+            const Entry& e = entries_[i];
+            if (e.gen == gen_ && !f(e)) return false;
+        }
+        return true;
+    }
+
+ private:
+    std::size_t slot_of(const void* key) const {
+        // Fibonacci hashing; low bits of a TVar* are alignment zeros, so
+        // shift them out before mixing.
+        const auto h = static_cast<std::uint64_t>(
+                           reinterpret_cast<std::uintptr_t>(key) >> 4) *
+                       0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h >> shift_) & mask_;
+    }
+
+    __attribute__((noinline)) void grow() {
+        auto old = std::move(entries_);
+        const std::size_t old_cap = cap_;
+        const std::uint32_t live = gen_;
+        cap_ = cap_ == 0 ? 64 : cap_ * 2;
+        entries_ = std::make_unique<Entry[]>(cap_);  // zeroed: gen 0 = dead
+        mask_ = cap_ - 1;
+        shift_ = 1;
+        while ((std::size_t{1} << (64 - shift_)) > cap_) ++shift_;
+        gen_ = 1;
+        for (std::size_t i = 0; i < old_cap; ++i) {
+            if (old[i].gen != live) continue;
+            std::size_t j = slot_of(old[i].var);
+            while (entries_[j].gen == gen_) j = (j + 1) & mask_;
+            entries_[j] = old[i];
+            entries_[j].gen = gen_;
+        }
+    }
+
+    void hard_reset() {
+        for (std::size_t i = 0; i < cap_; ++i) entries_[i].gen = 0;
+        gen_ = 1;
+    }
+
+    // Called from clear() with size_ entries about to be discarded anyway,
+    // so no rehash: just drop to a capacity sized for the recent traffic.
+    __attribute__((noinline)) void shrink() {
+        std::size_t cap = 64;
+        while (cap < std::size_t{size_} * 8) cap *= 2;
+        cap_ = cap;
+        entries_ = std::make_unique<Entry[]>(cap_);
+        mask_ = cap_ - 1;
+        shift_ = 1;
+        while ((std::size_t{1} << (64 - shift_)) > cap_) ++shift_;
+        gen_ = 1;
+        small_streak_ = 0;
+    }
+
+    std::unique_ptr<Entry[]> entries_;
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 63;
+    std::size_t stage_ = 0;
+    std::uint32_t size_ = 0;
+    std::uint32_t gen_ = 1;
+    std::uint32_t small_streak_ = 0;
+};
+
+// Per-thread access-set storage, owned by the ThreadContext and reused by
+// every attempt of every transaction it runs: tables keep their capacity,
+// the arena keeps its chunks. This is what makes the steady-state hot path
+// allocation-free.
+template <typename TB>
+struct AccessSets {
+    ReadSet<TB> reads;
+    FlatVec<CommitRec<TB>*> writes;  // records live in `arena`
+    WriteArena arena;
+    PtrIndex write_index;  // TVar* -> index into `writes` (pre-sort only)
+
+    void reset() {
+        reads.clear();
+        writes.clear();
+        arena.reset();
+        write_index.clear();
+    }
 };
 
 // Published commit descriptor, one per thread context, reused across
@@ -200,7 +569,7 @@ struct TxDesc {
 
     struct Slot {
         std::atomic<std::uint64_t> claim{0};  // 2*seq armed, 2*seq+1 taken
-        std::atomic<CommitRecBase<TB>*> rec{nullptr};
+        std::atomic<CommitRec<TB>*> rec{nullptr};
     };
     // Capacity travels with the array: a helper that pairs a stale array
     // with a newer (larger) n_slots clamps to the array's own capacity
@@ -299,16 +668,19 @@ namespace detail {
 
 // Untyped base so transactions can track read/write sets across TVar<T>
 // instantiations. The lock word is the only shared-memory rendezvous point:
-// (version_ts << 1) unlocked, (TxDesc* | 1) locked.
+// (version_ts << 1) unlocked, (TxDesc* | 1) locked. Not polymorphic -- a
+// vtable pointer would widen every TVar for nothing; nobody owns TVars
+// through this base.
 template <typename TB>
 class TVarBase {
  public:
     TVarBase() = default;
     TVarBase(const TVarBase&) = delete;
     TVarBase& operator=(const TVarBase&) = delete;
-    virtual ~TVarBase() = default;
 
  protected:
+    ~TVarBase() = default;
+
     friend class chronostm::Transaction<TB>;
     std::atomic<std::uint64_t> vlock_{0};
 };
@@ -327,6 +699,8 @@ class TVar : public TVarBase<TB> {
  public:
     explicit TVar(T initial) : value_(initial) {}
 
+    ~TVar() { delete hist_.load(std::memory_order_acquire); }
+
     T get(Transaction<TB>& tx) { return tx.read(*this); }
     void set(Transaction<TB>& tx, T v) { tx.write(*this, std::move(v)); }
 
@@ -339,10 +713,19 @@ class TVar : public TVarBase<TB> {
 
     // Old versions live in a ring written only while the lock bit is held;
     // readers snapshot entries and recheck vlock_ to detect slot reuse.
+    // The whole ring is heap-allocated on the first committed write that
+    // keeps history (max_versions > 1 configs), so a plain single-version
+    // TVar is just {vlock, value, null pointer} -- a couple of words
+    // instead of ~17 cache lines of inline ring.
     struct OldVersion {
         std::atomic<T> value{};
         std::atomic<std::uint64_t> from{0};
         std::atomic<std::uint64_t> until{0};
+    };
+    struct History {
+        std::array<OldVersion, detail::kMaxHistory> slots{};
+        std::atomic<unsigned> head{0};
+        std::atomic<unsigned> size{0};
     };
 
     // Called with the lock bit held by exactly one thread (the committing
@@ -358,29 +741,35 @@ class TVar : public TVarBase<TB> {
                       unsigned keep_old) {
         std::atomic_thread_fence(std::memory_order_release);
         if (keep_old > 0) {
+            History* h = hist_.load(std::memory_order_relaxed);
+            if (h == nullptr) {
+                // One-time allocation per TVar, done under the lock bit so
+                // exactly one thread (owner or claiming helper) runs it.
+                h = new History;
+                hist_.store(h, std::memory_order_release);
+            }
             const unsigned head =
-                (hist_head_.load(std::memory_order_relaxed) + 1) %
+                (h->head.load(std::memory_order_relaxed) + 1) %
                 detail::kMaxHistory;
-            auto& slot = hist_[head];
+            auto& slot = h->slots[head];
             slot.value.store(value_.load(std::memory_order_relaxed),
                              std::memory_order_relaxed);
             slot.from.store(old_ts, std::memory_order_relaxed);
             slot.until.store(new_ts, std::memory_order_relaxed);
-            hist_head_.store(head, std::memory_order_release);
+            h->head.store(head, std::memory_order_release);
             const unsigned cap = std::min(keep_old, detail::kMaxHistory);
-            const unsigned sz = hist_size_.load(std::memory_order_relaxed);
-            hist_size_.store(std::min(sz + 1, cap), std::memory_order_release);
+            const unsigned sz = h->size.load(std::memory_order_relaxed);
+            h->size.store(std::min(sz + 1, cap), std::memory_order_release);
         } else {
-            hist_size_.store(0, std::memory_order_release);
+            History* h = hist_.load(std::memory_order_relaxed);
+            if (h != nullptr) h->size.store(0, std::memory_order_release);
         }
         value_.store(v, std::memory_order_relaxed);
         this->vlock_.store(new_ts << 1, std::memory_order_release);
     }
 
     std::atomic<T> value_;
-    std::array<OldVersion, detail::kMaxHistory> hist_{};
-    std::atomic<unsigned> hist_head_{0};
-    std::atomic<unsigned> hist_size_{0};
+    std::atomic<History*> hist_{nullptr};
 };
 
 template <typename TB>
@@ -397,33 +786,34 @@ class Transaction {
     std::uint64_t snapshot_lower() const { return lower_; }
     std::uint64_t snapshot_upper() const { return upper_; }
 
+    // Deduplicated set sizes (distinct TVars); exposed for tests and
+    // instrumentation.
+    std::size_t read_set_size() const { return sets_->reads.size(); }
+    std::size_t write_set_size() const { return sets_->writes.size(); }
+
  private:
     friend class ThreadContext<TB>;
     template <typename T, typename TB2>
     friend class TVar;
 
-    struct ReadEntry {
-        TVarBase<TB>* var;
-        std::uint64_t word;  // unlocked lock word observed at read time
-    };
-
     template <typename T>
-    struct WriteRec : detail::CommitRecBase<TB> {
-        TVar<T, TB>* tvar;
+    struct WriteRec : detail::CommitRec<TB> {
         T value;
-        WriteRec(TVar<T, TB>* v, T val)
-            : detail::CommitRecBase<TB>(v), tvar(v), value(std::move(val)) {}
-        void apply(std::uint64_t new_ts, std::uint64_t old_ts,
-                   unsigned keep_old) override {
-            tvar->commit_write(value, new_ts, old_ts, keep_old);
+        static void do_apply(detail::CommitRec<TB>* rec,
+                             std::uint64_t new_ts, std::uint64_t old_ts,
+                             unsigned keep_old) {
+            auto* self = static_cast<WriteRec*>(rec);
+            static_cast<TVar<T, TB>*>(self->var)->commit_write(
+                self->value, new_ts, old_ts, keep_old);
         }
     };
 
     Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
                 std::uint64_t dev, detail::StatsBlock* stats,
-                detail::TxDesc<TB>* desc)
+                detail::TxDesc<TB>* desc, detail::AccessSets<TB>* sets)
         : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
-          desc_(desc) {
+          desc_(desc), sets_(sets) {
+        sets_->reset();
         upper_ = clk_.get_time();
         start_ts_ = upper_;
         upper_cap_ = ~std::uint64_t{0};
@@ -478,7 +868,7 @@ class Transaction {
                     try_kill(owner);
                     break;
                 case CmPolicy::kKarma:
-                    if (reads_.size() + writes_.size() >
+                    if (sets_->reads.size() + sets_->writes.size() >
                         owner->karma.load(std::memory_order_relaxed))
                         try_kill(owner);
                     break;
@@ -502,6 +892,12 @@ class Transaction {
         if (auto* rec = find_write(&var))
             return static_cast<WriteRec<T>*>(rec)->value;
 
+        // Read-after-read dedup: if the var is already in the read set, the
+        // admitted version is re-delivered and the read set stays as-is. On
+        // a miss the probe's landing slot stays staged, so admission below
+        // is a single store.
+        const auto* dup = sets_->reads.find_or_stage(&var);
+
         for (;;) {
             std::uint64_t w1 = var.vlock_.load(std::memory_order_acquire);
             if (w1 & 1u) w1 = wait_on_foreign_lock(&var);
@@ -516,17 +912,30 @@ class Transaction {
                 std::atomic_thread_fence(std::memory_order_acquire);
                 if (var.vlock_.load(std::memory_order_acquire) != w1)
                     continue;  // raced with a commit; retry the read
+                if (dup != nullptr) {
+                    // Same version as the first read (the normal case; a
+                    // conflicting commit cannot produce an admissible newer
+                    // version, see below) -- nothing new to track. A word
+                    // that differs can only mean snapshot damage; refuse.
+                    if (dup->word != w1) throw detail::AbortTx{};
+                    return v;
+                }
                 lower_ = std::max(lower_, wv + dev_);
-                reads_.push_back(ReadEntry{&var, w1});
+                sets_->reads.commit_stage(&var, w1);
                 return v;
             }
-            // Current version is newer than the snapshot. First choice:
-            // lazily extend the snapshot to the present.
-            if (cfg_.read_extension && try_extend()) continue;
+            // Current version is newer than the snapshot. A duplicate read
+            // can only land here if the var changed since we read it, and a
+            // changed var means extension would fail; go straight to the
+            // old-version fallback, which returns the still-valid version
+            // we first read. First choice otherwise: lazily extend the
+            // snapshot to the present.
+            if (dup == nullptr && cfg_.read_extension && try_extend())
+                continue;
             // Fall back to an old version -- only useful to transactions
             // that have not written yet (an update transaction must commit
             // "in the present", which a stale snapshot cannot reach).
-            if (writes_.empty()) {
+            if (sets_->writes.empty()) {
                 T v{};
                 if (read_old_version(var, w1, v)) return v;
             }
@@ -537,11 +946,29 @@ class Transaction {
     template <typename T>
     void write(TVar<T, TB>& var, T v) {
         if (auto* rec = find_write(&var)) {
+            // Write-after-write: overwrite in place, the set stays minimal.
             static_cast<WriteRec<T>*>(rec)->value = std::move(v);
             return;
         }
-        writes_.push_back(
-            std::make_unique<WriteRec<T>>(&var, std::move(v)));
+        static_assert(std::is_trivially_destructible_v<WriteRec<T>>,
+                      "write records must be trivially destructible: the "
+                      "arena reclaims them without running destructors");
+        void* mem = sets_->arena.allocate(sizeof(WriteRec<T>),
+                                          alignof(WriteRec<T>));
+        auto* rec = new (mem) WriteRec<T>;
+        rec->var = &var;
+        rec->apply_fn = &WriteRec<T>::do_apply;
+        rec->value = std::move(v);
+        auto& ws = sets_->writes;
+        ws.push_back(rec);
+        if (ws.size() == detail::kInlineScan + 1) {
+            // Crossed the inline threshold: index everything accumulated.
+            for (std::uint32_t i = 0; i < ws.size(); ++i)
+                sets_->write_index.insert(ws[i]->var, i);
+        } else if (ws.size() > detail::kInlineScan + 1) {
+            // find_write just missed on this key: its staged bucket is ours.
+            sets_->write_index.commit_stage(rec->var, ws.size() - 1);
+        }
         writes_sorted_ = false;
     }
 
@@ -552,10 +979,12 @@ class Transaction {
         std::uint64_t nu = clk_.get_time();
         nu = std::min(nu, upper_cap_);
         if (nu <= upper_) return false;
-        for (const auto& e : reads_) {
-            if (e.var->vlock_.load(std::memory_order_acquire) != e.word)
-                return false;
-        }
+        const bool intact = sets_->reads.all_of(
+            [](const typename detail::ReadSet<TB>::Entry& e) {
+                return e.var->vlock_.load(std::memory_order_acquire) ==
+                       e.word;
+            });
+        if (!intact) return false;
         upper_ = nu;
         return true;
     }
@@ -564,12 +993,14 @@ class Transaction {
     // snapshot; `w1` is the unlocked lock word the caller just observed.
     template <typename T>
     bool read_old_version(TVar<T, TB>& var, std::uint64_t w1, T& out) {
-        const unsigned n = var.hist_size_.load(std::memory_order_acquire);
-        const unsigned head = var.hist_head_.load(std::memory_order_acquire);
+        const auto* h = var.hist_.load(std::memory_order_acquire);
+        if (h == nullptr) return false;  // never kept history
+        const unsigned n = h->size.load(std::memory_order_acquire);
+        const unsigned head = h->head.load(std::memory_order_acquire);
         for (unsigned k = 0; k < n; ++k) {
             const auto& slot =
-                var.hist_[(head + detail::kMaxHistory - k) %
-                          detail::kMaxHistory];
+                h->slots[(head + detail::kMaxHistory - k) %
+                         detail::kMaxHistory];
             const std::uint64_t from =
                 slot.from.load(std::memory_order_acquire);
             const std::uint64_t until =
@@ -596,10 +1027,32 @@ class Transaction {
         return false;
     }
 
-    detail::CommitRecBase<TB>* find_write(TVarBase<TB>* var) {
-        for (auto& rec : writes_)
-            if (rec->var == var) return rec.get();
-        return nullptr;
+    // O(1) write-set lookup past the inline threshold; shared by the read
+    // path and the write path. Positions in write_index are only valid
+    // before commit() sorts the write set -- commit-time validation uses
+    // find_write_sorted instead.
+    detail::CommitRec<TB>* find_write(TVarBase<TB>* var) {
+        auto& ws = sets_->writes;
+        if (ws.size() <= detail::kInlineScan) {
+            for (auto* rec : ws)
+                if (rec->var == var) return rec;
+            return nullptr;
+        }
+        const std::uint32_t pos = sets_->write_index.find_or_stage(var);
+        return pos == detail::PtrIndex::kNone ? nullptr : ws[pos];
+    }
+
+    // Write-set lookup once commit() has address-sorted the set: binary
+    // search on the sorted order (the execution-time index holds stale
+    // positions past the sort and would cost a rebuild).
+    detail::CommitRec<TB>* find_write_sorted(TVarBase<TB>* var) {
+        auto& ws = sets_->writes;
+        auto* it = std::lower_bound(
+            ws.begin(), ws.end(), var,
+            [](const detail::CommitRec<TB>* rec, const TVarBase<TB>* v) {
+                return rec->var < v;
+            });
+        return it != ws.end() && (*it)->var == var ? *it : nullptr;
     }
 
     // Commit protocol: lock the write set in address order (descriptor
@@ -608,14 +1061,16 @@ class Transaction {
     // apply the write set -- racing any helpers doing the same. Returns
     // false on conflict or kill (caller counts the abort and retries).
     bool commit() {
-        if (writes_.empty()) return true;  // snapshot reads are consistent
+        auto& writes = sets_->writes;
+        if (writes.empty()) return true;  // snapshot reads are consistent
         // An update transaction that resorted to old versions cannot
         // serialize at commit time.
         if (read_old_) return false;
 
         if (!writes_sorted_) {
-            std::sort(writes_.begin(), writes_.end(),
-                      [](const auto& a, const auto& b) {
+            std::sort(writes.begin(), writes.end(),
+                      [](const detail::CommitRec<TB>* a,
+                         const detail::CommitRec<TB>* b) {
                           return a->var < b->var;
                       });
             writes_sorted_ = true;
@@ -623,15 +1078,15 @@ class Transaction {
 
         auto* d = desc_;
         const std::uint64_t q = d->seq.load(std::memory_order_relaxed) + 1;
-        d->karma.store(reads_.size() + writes_.size(),
+        d->karma.store(sets_->reads.size() + writes.size(),
                        std::memory_order_relaxed);
         d->start_ts.store(start_ts_, std::memory_order_relaxed);
         d->status.store(detail::kTxLocking, std::memory_order_release);
 
         std::size_t locked = 0;
         try {
-            for (; locked < writes_.size(); ++locked) {
-                auto& rec = writes_[locked];
+            for (; locked < writes.size(); ++locked) {
+                auto* rec = writes[locked];
                 for (;;) {
                     if (d->status.load(std::memory_order_relaxed) ==
                         detail::kTxKilled)
@@ -662,22 +1117,27 @@ class Transaction {
         if (!d->status.compare_exchange_strong(expect, detail::kTxNeedTs,
                                                std::memory_order_acq_rel,
                                                std::memory_order_relaxed))
-            return rollback(writes_.size());  // killed while locking
+            return rollback(writes.size());  // killed while locking
         const std::uint64_t commit_ts = clk_.get_new_ts();
 
-        for (const auto& e : reads_) {
-            const std::uint64_t cur =
-                e.var->vlock_.load(std::memory_order_acquire);
-            if (cur == e.word) continue;
-            if (cur == my_lock_word()) {
-                // Locked by us; valid iff the version under our lock is
-                // still the one we read.
-                auto* rec = find_write(e.var);
-                if (rec != nullptr && rec->locked_word == e.word) continue;
-            }
-            return rollback(writes_.size());
-        }
-        if (lower_ > commit_ts) return rollback(writes_.size());
+        const bool reads_valid = sets_->reads.all_of(
+            [this](const typename detail::ReadSet<TB>::Entry& e) {
+                const std::uint64_t cur =
+                    e.var->vlock_.load(std::memory_order_acquire);
+                if (cur == e.word) return true;
+                if (cur == my_lock_word()) {
+                    // Locked by us; valid iff the version under our lock
+                    // is still the one we read. The sorted write set makes
+                    // this a binary search, so the validation pass is
+                    // O(R log W), not the seed's O(R*W) rescan.
+                    auto* rec = find_write_sorted(e.var);
+                    if (rec != nullptr && rec->locked_word == e.word)
+                        return true;
+                }
+                return false;
+            });
+        if (!reads_valid) return rollback(writes.size());
+        if (lower_ > commit_ts) return rollback(writes.size());
 
         const unsigned keep_old =
             cfg_.max_versions > 0
@@ -689,16 +1149,16 @@ class Transaction {
         // locked version for per-var monotonicity under TL2 sharing and
         // coarse clocks.
         std::uint64_t new_ts = commit_ts;
-        for (const auto& rec : writes_)
+        for (const auto* rec : writes)
             new_ts = std::max(new_ts, (rec->locked_word >> 1) + 1);
 
         // Stage the helper-visible write-set view. Claims stay tagged with
         // the previous attempt until after the Committed CAS below, so no
         // helper can apply an attempt that might still be killed.
-        auto* slots = d->ensure_capacity(writes_.size())->slots.get();
-        for (std::size_t i = 0; i < writes_.size(); ++i)
-            slots[i].rec.store(writes_[i].get(), std::memory_order_relaxed);
-        d->n_slots.store(writes_.size(), std::memory_order_relaxed);
+        auto* slots = d->ensure_capacity(writes.size())->slots.get();
+        for (std::size_t i = 0; i < writes.size(); ++i)
+            slots[i].rec.store(writes[i], std::memory_order_relaxed);
+        d->n_slots.store(writes.size(), std::memory_order_relaxed);
         d->new_ts.store(new_ts, std::memory_order_relaxed);
         d->keep_old.store(keep_old, std::memory_order_relaxed);
         d->seq.store(q, std::memory_order_relaxed);
@@ -707,26 +1167,25 @@ class Transaction {
         if (!d->status.compare_exchange_strong(expect, detail::kTxCommitted,
                                                std::memory_order_acq_rel,
                                                std::memory_order_relaxed))
-            return rollback(writes_.size());  // killed at the buzzer
-        for (std::size_t i = 0; i < writes_.size(); ++i)
+            return rollback(writes.size());  // killed at the buzzer
+        for (std::size_t i = 0; i < writes.size(); ++i)
             slots[i].claim.store(2 * q, std::memory_order_release);
 
         if (cfg_.commit_publish_hook) cfg_.commit_publish_hook();
 
         // Claim-and-apply our own write set, racing helpers for each slot.
-        for (std::size_t i = 0; i < writes_.size(); ++i) {
+        for (std::size_t i = 0; i < writes.size(); ++i) {
             std::uint64_t expect_claim = 2 * q;
             if (slots[i].claim.compare_exchange_strong(
                     expect_claim, 2 * q + 1, std::memory_order_acq_rel,
                     std::memory_order_relaxed))
-                writes_[i]->apply(new_ts, writes_[i]->locked_word >> 1,
-                                  keep_old);
+                writes[i]->apply(new_ts, writes[i]->locked_word >> 1,
+                                 keep_old);
         }
         // Wait until every orec is unlocked (a helper may still be midway
         // through a claimed slot) before the write records -- which that
-        // helper dereferences -- can be destroyed and the descriptor
-        // recycled.
-        for (const auto& rec : writes_) {
+        // helper dereferences -- can be recycled along with the arena.
+        for (const auto* rec : writes) {
             std::uint64_t spins = 0;
             while (rec->var->vlock_.load(std::memory_order_acquire) ==
                    my_lock_word()) {
@@ -741,8 +1200,9 @@ class Transaction {
     // Abort path while holding the first `n` write-set locks: restore the
     // saved words and retire the descriptor attempt.
     bool rollback(std::size_t n) {
+        auto& writes = sets_->writes;
         for (std::size_t i = 0; i < n; ++i) {
-            auto& rec = writes_[i];
+            auto* rec = writes[i];
             rec->var->vlock_.store(rec->locked_word,
                                    std::memory_order_release);
         }
@@ -756,19 +1216,19 @@ class Transaction {
     std::uint64_t dev_;
     detail::StatsBlock* stats_;
     detail::TxDesc<TB>* desc_;
+    detail::AccessSets<TB>* sets_;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     std::uint64_t upper_cap_ = 0;
     std::uint64_t start_ts_ = 0;
     bool read_old_ = false;
     bool writes_sorted_ = false;
-    std::vector<ReadEntry> reads_;
-    std::vector<std::unique_ptr<detail::CommitRecBase<TB>>> writes_;
 };
 
-// Per-thread handle: owns a thread clock, a stats block, and a commit
-// descriptor registered with the parent LsaStm. Movable; not thread-safe
-// (one context per thread).
+// Per-thread handle: owns a thread clock, a stats block, a commit
+// descriptor registered with the parent LsaStm, and the pooled access-set
+// storage every transaction attempt reuses. Movable; not thread-safe (one
+// context per thread, one live transaction per context).
 template <typename TB>
 class ThreadContext {
  public:
@@ -796,6 +1256,14 @@ class ThreadContext {
             if (attempt + 1 >= cfg_.max_retries)
                 throw std::runtime_error(
                     "chronostm: transaction exceeded retry bound");
+            // Force time forward on repeated aborts by drawing (and
+            // discarding) a stamp. Clock time bases advance on their own,
+            // but a counter whose committers draw timestamp BLOCKS
+            // (batched_counter) only moves when stamps are consumed -- an
+            // abort storm on a hot var could otherwise hold get_time still
+            // forever, and a snapshot that can never reach the present
+            // retries forever (freshness needs upper >= version + 2*dev).
+            if (attempt >= 1) clk_.get_new_ts();
             detail::backoff(attempt,
                             reinterpret_cast<std::uintptr_t>(stats_.get()));
         }
@@ -807,7 +1275,7 @@ class ThreadContext {
     // reports success. Statistics are counted like run() does.
     Transaction<TB> txn_begin() {
         return Transaction<TB>(clk_, cfg_, cm_, dev_, stats_.get(),
-                               desc_.get());
+                               desc_.get(), &sets_);
     }
 
     bool txn_commit(Transaction<TB>& tx) {
@@ -847,6 +1315,7 @@ class ThreadContext {
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
     std::shared_ptr<detail::TxDesc<TB>> desc_;
+    detail::AccessSets<TB> sets_;
 };
 
 template <typename TB>

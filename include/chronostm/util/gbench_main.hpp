@@ -1,0 +1,48 @@
+// Shared main() for the google-benchmark drivers so they speak the same
+// --json=<path> dialect as the table drivers: the flag is rewritten into
+// google-benchmark's --benchmark_out=<path> --benchmark_out_format=json
+// before Initialize sees the command line. Everything else passes through
+// untouched.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace chronostm {
+
+inline int gbench_main_with_json(int argc, char** argv) {
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 2);
+    args.emplace_back(argc > 0 ? argv[0] : "bench");
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0) {
+            json_path = a.substr(7);
+        } else if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            args.push_back(a);
+        }
+    }
+    if (!json_path.empty()) {
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+
+    std::vector<char*> cargv;
+    cargv.reserve(args.size());
+    for (auto& a : args) cargv.push_back(a.data());
+    int cargc = static_cast<int>(cargv.size());
+    benchmark::Initialize(&cargc, cargv.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace chronostm

@@ -1,0 +1,173 @@
+// Minimal JSON emitter for the bench drivers' --json=<path> output: every
+// driver dumps a machine-readable result blob next to its ASCII table so
+// perf trajectories can be tracked across commits (BENCH_baseline.json) and
+// CI can upload the numbers as artifacts. Emission-only, streaming, no DOM:
+// begin/end pairs with automatic comma placement and two-space indentation.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace chronostm {
+
+class Json {
+ public:
+    Json& obj_begin() { return open('{'); }
+    Json& obj_end() { return close('}'); }
+    Json& arr_begin() { return open('['); }
+    Json& arr_end() { return close(']'); }
+
+    Json& key(const std::string& k) {
+        comma_and_indent();
+        append_quoted(k);
+        buf_ += ": ";
+        pending_value_ = true;
+        return *this;
+    }
+
+    Json& str(const std::string& v) {
+        value_slot();
+        append_quoted(v);
+        return *this;
+    }
+
+    Json& num(double v) {
+        char tmp[64];
+        std::snprintf(tmp, sizeof tmp, "%.6g", v);
+        value_slot();
+        buf_ += tmp;
+        return *this;
+    }
+
+    Json& num(std::uint64_t v) {
+        value_slot();
+        buf_ += std::to_string(v);
+        return *this;
+    }
+
+    Json& num(long long v) {
+        value_slot();
+        buf_ += std::to_string(v);
+        return *this;
+    }
+
+    Json& boolean(bool v) {
+        value_slot();
+        buf_ += v ? "true" : "false";
+        return *this;
+    }
+
+    // Shorthand for the common key-then-scalar pattern.
+    template <typename V>
+    Json& kv(const std::string& k, V v) {
+        key(k);
+        if constexpr (std::is_same_v<V, bool>) return boolean(v);
+        else if constexpr (std::is_floating_point_v<V>) return num(double(v));
+        else if constexpr (std::is_integral_v<V> && std::is_signed_v<V>)
+            return num(static_cast<long long>(v));
+        else if constexpr (std::is_integral_v<V>)
+            return num(static_cast<std::uint64_t>(v));
+        else return str(v);
+    }
+    Json& kv(const std::string& k, const std::string& v) {
+        return key(k).str(v);
+    }
+    Json& kv(const std::string& k, const char* v) {
+        return key(k).str(v);
+    }
+
+    const std::string& text() const { return buf_; }
+
+    // Writes the document (plus trailing newline) to `path`; returns
+    // success. Drivers treat failure as a fatal CLI error.
+    bool write_file(const std::string& path) const {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) return false;
+        const bool ok =
+            std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size() &&
+            std::fputc('\n', f) != EOF;
+        return std::fclose(f) == 0 && ok;
+    }
+
+ private:
+    Json& open(char c) {
+        value_slot();
+        buf_ += c;
+        depth_.push_back(false);
+        return *this;
+    }
+
+    Json& close(char c) {
+        const bool had_items = !depth_.empty() && depth_.back();
+        if (!depth_.empty()) depth_.pop_back();
+        if (had_items) {
+            buf_ += '\n';
+            indent();
+        }
+        buf_ += c;
+        return *this;
+    }
+
+    // A value lands either right after its key or as an array element
+    // (comma + newline separated).
+    void value_slot() {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        comma_and_indent();
+    }
+
+    void comma_and_indent() {
+        if (!depth_.empty()) {
+            if (depth_.back()) buf_ += ',';
+            depth_.back() = true;
+            buf_ += '\n';
+            indent();
+        }
+    }
+
+    void indent() {
+        buf_.append(2 * depth_.size(), ' ');
+    }
+
+    void append_quoted(const std::string& s) {
+        buf_ += '"';
+        for (const char c : s) {
+            switch (c) {
+                case '"': buf_ += "\\\""; break;
+                case '\\': buf_ += "\\\\"; break;
+                case '\n': buf_ += "\\n"; break;
+                case '\t': buf_ += "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char tmp[8];
+                        std::snprintf(tmp, sizeof tmp, "\\u%04x", c);
+                        buf_ += tmp;
+                    } else {
+                        buf_ += c;
+                    }
+            }
+        }
+        buf_ += '"';
+    }
+
+    std::string buf_;
+    std::vector<bool> depth_;  // per level: "has at least one item"
+    bool pending_value_ = false;
+};
+
+// Shared --json epilogue for the table drivers: no-op when the flag is
+// empty, otherwise write and report failure on stderr. Callers exit 2 on
+// false (the drivers' bad-flag/bad-path exit code).
+inline bool write_json_flag(const std::string& path, const Json& json) {
+    if (path.empty() || json.write_file(path)) return true;
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+}
+
+}  // namespace chronostm

@@ -18,6 +18,7 @@
 
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/stm/adapter.hpp>
+#include <chronostm/timebase/batched_counter.hpp>
 #include <chronostm/timebase/ext_sync_clock.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/timebase/shared_counter.hpp>
@@ -114,6 +115,13 @@ int main() {
         check_bank(tbase, "PerfectClock");
     }
     {
+        // Tiny blocks force constant stale-stamp refetches and
+        // deviation-shrunk snapshots: imprecision may cost retries but
+        // never atomicity.
+        tb::BatchedCounterTimeBase tbase(8);
+        check_bank(tbase, "BatchedCounter(B=8)");
+    }
+    {
         static tb::WallTimeSource src;
         static std::vector<std::unique_ptr<tb::PerfectDevice>> devs;
         std::vector<tb::ClockDevice*> ptrs;
@@ -137,6 +145,11 @@ int main() {
         tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
         stm::LsaAdapter<tb::PerfectClockTimeBase> a(tbase);
         check_bank_facade(a, "LSA-RT/HardwareClock");
+    }
+    {
+        tb::BatchedCounterTimeBase tbase(64);
+        stm::LsaAdapter<tb::BatchedCounterTimeBase> a(tbase);
+        check_bank_facade(a, "LSA-RT/BatchedCounter");
     }
     {
         stm::Tl2Adapter a;

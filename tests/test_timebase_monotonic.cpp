@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include <chronostm/timebase/batched_counter.hpp>
 #include <chronostm/timebase/ext_sync_clock.hpp>
 #include <chronostm/timebase/mmtimer.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
@@ -45,6 +46,35 @@ void check_monotonic(TB& tbase, int stamps_per_thread, const char* name) {
         CHECK_MSG(ok[t] == 1, "time base %s, thread %u", name, t);
 }
 
+// The batched counter is deliberately imprecise: a get_time observation may
+// exceed a later stamp from the same thread, but never by the block size or
+// more (stamps lag the exact counter by at most B-1). Per-thread strict
+// monotonicity of stamps still holds exactly.
+void check_monotonic_batched(std::uint64_t block, int stamps_per_thread) {
+    tb::BatchedCounterTimeBase tbase(block);
+    const std::uint64_t bound = tbase.block_size();
+    std::vector<std::thread> threads;
+    std::vector<int> ok(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tbase, &ok, bound, t, stamps_per_thread] {
+            auto clk = tbase.make_thread_clock();
+            std::uint64_t prev_ts = 0;
+            bool good = true;
+            for (int i = 0; i < stamps_per_thread; ++i) {
+                const std::uint64_t now = clk.get_time();
+                const std::uint64_t ts = clk.get_new_ts();
+                good = good && (i == 0 || ts > prev_ts) && (now < ts + bound);
+                prev_ts = ts;
+            }
+            ok[t] = good ? 1 : 0;
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        CHECK_MSG(ok[t] == 1, "BatchedCounter(B=%llu), thread %u",
+                  static_cast<unsigned long long>(block), t);
+}
+
 }  // namespace
 
 int main() {
@@ -56,6 +86,9 @@ int main() {
         tb::Tl2SharedCounterTimeBase tbase;
         check_monotonic(tbase, 20000, "Tl2SharedCounter");
     }
+    check_monotonic_batched(1, 20000);   // degenerate: behaves exactly
+    check_monotonic_batched(8, 20000);   // refetch-heavy
+    check_monotonic_batched(64, 20000);  // throughput-tuned
     {
         tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
         check_monotonic(tbase, 20000, "PerfectClock(Auto)");

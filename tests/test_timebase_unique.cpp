@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include <chronostm/timebase/batched_counter.hpp>
 #include <chronostm/timebase/ext_sync_clock.hpp>
 #include <chronostm/timebase/mmtimer.hpp>
 #include <chronostm/timebase/perfect_clock.hpp>
@@ -51,6 +52,16 @@ int main() {
     {
         tb::SharedCounterTimeBase tbase;
         check_unique(tbase, 20000, "SharedCounter");
+    }
+    {
+        // Blocks are disjoint and refetch only moves forward, so batched
+        // stamps stay globally unique even with abandoned block tails.
+        tb::BatchedCounterTimeBase tbase(8);
+        check_unique(tbase, 20000, "BatchedCounter(B=8)");
+    }
+    {
+        tb::BatchedCounterTimeBase tbase(64);
+        check_unique(tbase, 20000, "BatchedCounter(B=64)");
     }
     {
         tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
