@@ -20,6 +20,8 @@
 #include <chronostm/timebase/mmtimer.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
+#include <chronostm/util/stats.hpp>
 #include <chronostm/util/table.hpp>
 
 using namespace chronostm;
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
                   "the hardware-synchronized device of the paper (offsets "
                   "below the read latency); raise it to study a badly "
                   "synchronized clock -- error>=offset is then expected to "
-                  "fail, exactly as the paper's reasoning predicts");
+                  "fail, exactly as the paper's reasoning predicts")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -46,9 +49,9 @@ int main(int argc, char** argv) {
     std::printf("== Reproduction of Figure 1 (SPAA'07, Riegel/Fetzer/Felber) ==\n"
                 "Workload: shared-memory clock comparison, reference node 0\n\n");
 
-    tb::MMTimerConfig mcfg;
+    tb::MMTimerSim::Params mcfg;
     mcfg.nodes = static_cast<unsigned>(cli.i64("nodes"));
-    mcfg.max_injected_offset_ticks = cli.i64("inject");
+    mcfg.max_node_offset_ticks = cli.i64("inject");
     tb::MMTimerSim sim(mcfg);
 
     csync::SyncProbeConfig pcfg;
@@ -82,10 +85,6 @@ int main(int argc, char** argv) {
     // Medians are robust against scheduler-preemption spikes (a descheduled
     // probe mid-exchange produces a huge, honest-but-useless window). The
     // paper ran on dedicated CPUs; CI hosts are noisy.
-    const auto median = [](std::vector<double> v) {
-        std::sort(v.begin(), v.end());
-        return v.empty() ? 0.0 : v[v.size() / 2];
-    };
     const double med_off = median(offsets);
     const double med_err = median(errors);
     const double med_bound = median(bounds);
@@ -115,5 +114,35 @@ int main(int argc, char** argv) {
                 bound_sound ? "PASS" : "FAIL");
     std::printf("SHAPE-CHECK no drift across the run: %s\n",
                 no_drift ? "PASS" : "FAIL");
+
+    Json json;
+    json.obj_begin()
+        .kv("driver", "fig1_clocksync")
+        .kv("nodes", mcfg.nodes)
+        .kv("injected_offset_ticks", mcfg.max_node_offset_ticks)
+        .kv("exchanges_per_round", cli.i64("exchanges"))
+        .key("rounds")
+        .arr_begin();
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        json.obj_begin()
+            .kv("round", static_cast<std::uint64_t>(r))
+            .kv("max_abs_offset", offsets[r])
+            .kv("max_error", errors[r])
+            .kv("max_error_plus_offset", bounds[r])
+            .obj_end();
+    }
+    json.arr_end()
+        .kv("median_max_abs_offset", med_off)
+        .kv("median_max_error", med_err)
+        .kv("median_bound", med_bound)
+        .kv("true_offset_span_ticks", true_span)
+        .key("checks")
+        .obj_begin()
+        .kv("error_dominates_offset", error_dominates)
+        .kv("bound_covers_true_offsets", bound_sound)
+        .kv("no_drift", no_drift)
+        .obj_end()
+        .obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return (error_dominates && bound_sound && no_drift) ? 0 : 1;
 }

@@ -1,9 +1,10 @@
 // Figure 2 reproduction (machine model): the full 1..16-processor sweep on
-// the discrete-event ccNUMA model (src/simnuma), calibrated to an
-// Altix-class machine. This is the substitution documented in DESIGN.md:
-// the host has too few CPUs to exhibit the paper's contention curve, but
-// the workload's cost structure -- a serialized exclusive cache line vs a
-// fixed-latency local timer -- is exactly what the model simulates.
+// the discrete-event ccNUMA model (include/chronostm/simnuma/machine.hpp),
+// calibrated to an Altix-class machine. This is the substitution documented
+// in DESIGN.md: the host has too few CPUs to exhibit the paper's contention
+// curve, but the workload's cost structure -- a serialized exclusive cache
+// line vs a fixed-latency local timer -- is exactly what the model
+// simulates.
 //
 // Paper's shape per panel (10/50/100 accesses):
 //   * counter: scales briefly, saturates, then declines as transfers get
@@ -11,12 +12,14 @@
 //   * MMTimer: linear scaling; loses only the single-thread short-txn case;
 //   * the gap shrinks as transactions grow.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include <chronostm/simnuma/machine.hpp>
 #include <chronostm/util/cli.hpp>
+#include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
 #include <chronostm/workload/runner.hpp>
 
@@ -29,7 +32,9 @@ int main(int argc, char** argv) {
         .flag_f64("commit-ns", 250.0, "fixed commit cost")
         .flag_f64("timer-ns", 350.0, "local timer read (7 ticks @ 20 MHz)")
         .flag_f64("line-base-ns", 450.0, "counter line transfer, base")
-        .flag_f64("line-hop-ns", 60.0, "counter line transfer, per log2(P)");
+        .flag_f64("line-hop-ns", 240.0, "counter line transfer, per log2(P)")
+        .flag_i64("seed", 1, "simulation seed (same seed => same sweep)")
+        .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -44,10 +49,19 @@ int main(int argc, char** argv) {
     const auto sweep = wl::figure2_thread_sweep();
     bool all_pass = true;
 
+    Json json;
+    json.obj_begin()
+        .kv("driver", "fig2_sim")
+        .kv("seed", cli.i64("seed"))
+        .kv("duration_ms", cli.f64("duration-ms"))
+        .key("panels")
+        .arr_begin();
+
     for (const unsigned accesses : {10u, 50u, 100u}) {
         Table t("panel: " + std::to_string(accesses) +
                 " accesses per update transaction (Mtx/s, simulated)");
         t.set_header({"processors", "SharedCounter", "MMTimer"});
+        json.obj_begin().kv("accesses", accesses).key("rows").arr_begin();
 
         std::vector<double> counter_series, timer_series;
         for (const unsigned p : sweep) {
@@ -55,6 +69,7 @@ int main(int argc, char** argv) {
             cfg.processors = p;
             cfg.txn_accesses = accesses;
             cfg.duration_ms = cli.f64("duration-ms");
+            cfg.seed = static_cast<std::uint64_t>(cli.i64("seed"));
             cfg.access_ns = cli.f64("access-ns");
             cfg.commit_fixed_ns = cli.f64("commit-ns");
             cfg.timer_read_ns = cli.f64("timer-ns");
@@ -71,25 +86,37 @@ int main(int argc, char** argv) {
             t.add_row({Table::num(static_cast<std::uint64_t>(p)),
                        Table::num(counter.mtx_per_sec, 3),
                        Table::num(timer.mtx_per_sec, 3)});
+            json.obj_begin()
+                .kv("processors", p)
+                .kv("shared_counter_mtxs", counter.mtx_per_sec)
+                .kv("mmtimer_mtxs", timer.mtx_per_sec)
+                .kv("line_utilization",
+                    counter.sim_ns > 0 ? counter.line_busy_ns / counter.sim_ns
+                                       : 0.0)
+                .obj_end();
         }
         t.print(std::cout);
 
         const std::size_t last = sweep.size() - 1;
         const double timer_speedup = timer_series[last] / timer_series[0];
-        const double counter_speedup = counter_series[last] / counter_series[0];
-        const bool timer_linear = timer_speedup > 14.0;
-        // The counter's handicap shrinks as transactions grow (paper: "the
-        // influence of the shared counter decreases when transactions get
-        // larger"), so judge its scaling *relative* to the timer's.
-        const bool counter_stalls = counter_speedup < 0.8 * timer_speedup;
+        const std::size_t peak = static_cast<std::size_t>(
+            std::max_element(counter_series.begin(), counter_series.end()) -
+            counter_series.begin());
+        // MMTimer has no shared state: within 10% of perfectly linear.
+        const bool timer_linear =
+            timer_speedup > 0.9 * static_cast<double>(sweep[last]);
+        // The paper's counter curve saturates and then *declines* before
+        // the 16-way point: its peak sits strictly inside the sweep.
+        const bool counter_declines =
+            peak < last && counter_series[last] < counter_series[peak];
         const bool timer_wins_at_16 = timer_series[last] > counter_series[last];
         const bool counter_wins_1thread_short =
             accesses > 10 || counter_series[0] > timer_series[0];
 
-        std::printf("SHAPE-CHECK MMTimer ~linear to 16 (x%.1f): %s\n",
+        std::printf("SHAPE-CHECK MMTimer within 10%% of linear (x%.1f): %s\n",
                     timer_speedup, timer_linear ? "PASS" : "FAIL");
-        std::printf("SHAPE-CHECK counter stops scaling (x%.1f): %s\n",
-                    counter_speedup, counter_stalls ? "PASS" : "FAIL");
+        std::printf("SHAPE-CHECK counter peaks at P=%u then declines: %s\n",
+                    sweep[peak], counter_declines ? "PASS" : "FAIL");
         std::printf("SHAPE-CHECK MMTimer wins at 16 processors: %s\n",
                     timer_wins_at_16 ? "PASS" : "FAIL");
         if (accesses == 10)
@@ -97,10 +124,26 @@ int main(int argc, char** argv) {
                         "%s\n",
                         counter_wins_1thread_short ? "PASS" : "FAIL");
         std::printf("\n");
-        all_pass = all_pass && timer_linear && counter_stalls &&
-                   timer_wins_at_16 && counter_wins_1thread_short;
+        const bool panel_pass = timer_linear && counter_declines &&
+                                timer_wins_at_16 && counter_wins_1thread_short;
+        all_pass = all_pass && panel_pass;
+        json.arr_end()
+            .key("checks")
+            .obj_begin()
+            .kv("timer_speedup", timer_speedup)
+            .kv("timer_linear", timer_linear)
+            .kv("counter_peak_processors", sweep[peak])
+            .kv("counter_peaks_then_declines", counter_declines)
+            .kv("timer_wins_at_16", timer_wins_at_16);
+        // Only the short-transaction panel runs the 1-thread crossover
+        // check; don't report a vacuous pass elsewhere.
+        if (accesses == 10)
+            json.kv("counter_wins_1thread_short", counter_wins_1thread_short);
+        json.obj_end().obj_end();
     }
 
     std::printf("overall: %s\n", all_pass ? "PASS" : "FAIL");
+    json.arr_end().kv("all_pass", all_pass).obj_end();
+    if (!write_json_flag(cli.str("json"), json)) return 2;
     return all_pass ? 0 : 1;
 }

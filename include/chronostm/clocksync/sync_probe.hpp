@@ -1,0 +1,210 @@
+// Round-based clock-comparison probe for the Figure 1 experiment: estimate
+// the offset between every node's clock and reference node 0, together
+// with a sound per-estimate error bound, using only clock reads (the
+// paper's shared-memory variant of remote clock reading).
+//
+// One exchange (probe node i, reference node 0, all through shared
+// memory):
+//
+//     t1 = read(i)            // probe's clock, before
+//     request -> reference thread
+//     c0 = read(0)            // served by the reference thread
+//     reply   -> probe thread
+//     t2 = read(i)            // probe's clock, after
+//
+// The reference reading happened somewhere inside [t1, t2] on node i's
+// clock, so `offset_i = (t1 + t2)/2 - c0` estimates node i's offset with
+// error at most `(t2 - t1)/2`. The window necessarily contains two full
+// read latencies (the reference's read and one of the probe's), which is
+// why the paper's measured errors sit at the read-latency scale and why
+// "errors are always larger than offsets" holds exactly until the true
+// offsets exceed that scale -- and provably breaks after (test_clocksync
+// checks both directions).
+//
+// A round performs N exchanges per probe and keeps the one with the
+// smallest window (best-bound kept): scheduler preemption can only widen
+// a window, never shrink it, so min-window is the honest pick. Rounds are
+// separated by a configurable interval; each probe node gets its own
+// thread, plus one thread servicing requests for the reference clock.
+// Spin-waits yield periodically so the probe stays live on hosts with
+// fewer CPUs than participants (the bounds just get honestly wider).
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <chronostm/util/affinity.hpp>
+#include <chronostm/util/pause.hpp>
+
+namespace chronostm {
+namespace csync {
+
+struct SyncProbeConfig {
+    int rounds = 40;
+    int exchanges_per_round = 16;   // best (smallest-window) exchange kept
+    long long round_interval_us = 5000;
+    bool pin_threads = false;       // reference -> CPU 0, probe i -> CPU i
+};
+
+// One row of Figure 1: per-round maxima across the probe nodes, in clock
+// ticks. max_error_plus_offset is the round's upper bound on any node's
+// true offset (|true_i| <= |offset_i| + error_i always holds).
+struct SyncRound {
+    double max_abs_offset = 0;
+    double max_error = 0;
+    double max_error_plus_offset = 0;
+    int valid_probes = 0;  // probes that completed >= 1 exchange this round
+};
+
+namespace detail {
+
+// Spin that stays live when participants outnumber CPUs.
+template <typename Pred>
+void spin_until(Pred&& pred) {
+    int spins = 0;
+    while (!pred()) {
+        cpu_relax();
+        if (++spins >= 128) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+struct alignas(64) Mailbox {
+    std::atomic<std::uint64_t> req{0};
+    std::atomic<std::uint64_t> ack{0};
+    std::int64_t ref_value = 0;  // written before the ack release-store
+};
+
+struct alignas(64) ProbeSlot {
+    std::atomic<int> done_round{-1};
+    double abs_offset = 0;
+    double error = 0;
+    bool valid = false;
+};
+
+}  // namespace detail
+
+// clocks[0] is the reference node; clocks[1..] are probed against it.
+// Every closure must be callable from a foreign thread.
+inline std::vector<SyncRound> run_sync_probe(
+    const std::vector<std::function<std::int64_t()>>& clocks,
+    const SyncProbeConfig& cfg) {
+    const int rounds = cfg.rounds < 0 ? 0 : cfg.rounds;
+    std::vector<SyncRound> out(static_cast<std::size_t>(rounds));
+    if (clocks.size() < 2 || rounds == 0) return out;
+    const unsigned probes = static_cast<unsigned>(clocks.size()) - 1;
+    const int exchanges =
+        cfg.exchanges_per_round < 1 ? 1 : cfg.exchanges_per_round;
+
+    auto boxes = std::make_unique<detail::Mailbox[]>(probes);
+    auto slots = std::make_unique<detail::ProbeSlot[]>(probes);
+    std::atomic<int> round{-1};
+    std::atomic<bool> stop{false};
+
+    std::thread ref([&] {
+        if (cfg.pin_threads) pin_to_cpu(0);
+        int spins = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            bool served = false;
+            for (unsigned i = 0; i < probes; ++i) {
+                auto& mb = boxes[i];
+                const auto r = mb.req.load(std::memory_order_acquire);
+                if (r != mb.ack.load(std::memory_order_relaxed)) {
+                    mb.ref_value = clocks[0]();
+                    mb.ack.store(r, std::memory_order_release);
+                    served = true;
+                }
+            }
+            if (served) {
+                spins = 0;
+            } else {
+                cpu_relax();
+                if (++spins >= 128) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+        }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(probes);
+    for (unsigned i = 0; i < probes; ++i) {
+        workers.emplace_back([&, i] {
+            if (cfg.pin_threads) pin_to_cpu(i + 1);
+            auto& mb = boxes[i];
+            auto& slot = slots[i];
+            const auto& clock = clocks[i + 1];
+            std::uint64_t seq = 0;
+            for (int r = 0; r < rounds; ++r) {
+                detail::spin_until([&] {
+                    return round.load(std::memory_order_acquire) >= r ||
+                           stop.load(std::memory_order_acquire);
+                });
+                if (stop.load(std::memory_order_acquire)) return;
+
+                double best_window = -1, best_offset = 0;
+                for (int e = 0; e < exchanges; ++e) {
+                    const std::int64_t t1 = clock();
+                    ++seq;
+                    mb.req.store(seq, std::memory_order_release);
+                    detail::spin_until([&] {
+                        return mb.ack.load(std::memory_order_acquire) == seq;
+                    });
+                    const std::int64_t c0 = mb.ref_value;
+                    const std::int64_t t2 = clock();
+                    if (t2 < t1) continue;  // non-monotone clock: discard
+                    const double window = static_cast<double>(t2 - t1);
+                    if (best_window < 0 || window < best_window) {
+                        best_window = window;
+                        best_offset = 0.5 * (static_cast<double>(t1) +
+                                             static_cast<double>(t2)) -
+                                      static_cast<double>(c0);
+                    }
+                }
+                slot.valid = best_window >= 0;
+                slot.abs_offset = best_offset < 0 ? -best_offset : best_offset;
+                slot.error = best_window >= 0 ? best_window / 2.0 : 0.0;
+                slot.done_round.store(r, std::memory_order_release);
+            }
+        });
+    }
+
+    for (int r = 0; r < rounds; ++r) {
+        round.store(r, std::memory_order_release);
+        SyncRound row;
+        for (unsigned i = 0; i < probes; ++i) {
+            auto& slot = slots[i];
+            detail::spin_until([&] {
+                return slot.done_round.load(std::memory_order_acquire) >= r;
+            });
+            if (!slot.valid) continue;
+            ++row.valid_probes;
+            row.max_abs_offset = std::max(row.max_abs_offset, slot.abs_offset);
+            row.max_error = std::max(row.max_error, slot.error);
+            row.max_error_plus_offset = std::max(
+                row.max_error_plus_offset, slot.error + slot.abs_offset);
+        }
+        out[static_cast<std::size_t>(r)] = row;
+        if (cfg.round_interval_us > 0 && r + 1 < rounds)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(cfg.round_interval_us));
+    }
+
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    ref.join();
+    return out;
+}
+
+}  // namespace csync
+}  // namespace chronostm

@@ -27,9 +27,11 @@ class MMTimerSim {
         double freq_hz = 20e6;            // paper's 20 MHz board timer
         unsigned read_latency_ticks = 7;  // ~350 ns per read
         unsigned nodes = 1;
-        // Static per-node offset injected into readings, in ticks; node i
-        // gets +max on even i, -max on odd i. Ground truth for clock-sync
-        // experiments; zero models the hardware-synchronized device.
+        // Static per-node offset injected into readings, in ticks. Node 0
+        // is the reference and always reads true (the Figure-1 probe
+        // estimates offsets *relative to node 0*, so ground truth must be
+        // anchored there); node i > 0 gets +max on odd i, -max on even i.
+        // Zero models the hardware-synchronized device.
         std::int64_t max_node_offset_ticks = 0;
     };
 
@@ -38,8 +40,10 @@ class MMTimerSim {
         if (params_.nodes == 0) params_.nodes = 1;
         offsets_.reserve(params_.nodes);
         for (unsigned i = 0; i < params_.nodes; ++i) {
-            offsets_.push_back((i % 2 == 0) ? params_.max_node_offset_ticks
-                                            : -params_.max_node_offset_ticks);
+            offsets_.push_back(i == 0 ? 0
+                               : (i % 2 == 1)
+                                   ? params_.max_node_offset_ticks
+                                   : -params_.max_node_offset_ticks);
         }
         epoch_ = std::chrono::steady_clock::now();
     }

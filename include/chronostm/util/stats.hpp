@@ -1,0 +1,21 @@
+// Tiny statistics helpers shared by drivers and tests. Medians are the
+// robust summary of choice for timing series: a descheduled thread
+// mid-measurement produces a huge, honest-but-useless sample that a mean
+// would absorb and a median ignores.
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace chronostm {
+
+// Median by middle element (upper middle for even sizes); 0 when empty.
+// Takes a copy: callers keep their series in order.
+inline double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+}  // namespace chronostm

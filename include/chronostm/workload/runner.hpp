@@ -95,8 +95,9 @@ RunResult run_throughput(const RunSpec& spec, Factory&& make_op) {
 }
 
 // The paper's Figure 2 sweeps 1..16 processors; we keep the canonical
-// power-of-two points. max_threads caps the sweep (0 = the paper's 16).
-inline std::vector<unsigned> figure2_thread_sweep(unsigned max_threads) {
+// power-of-two points. max_threads caps the sweep (0 = the paper's 16,
+// the default for simulated sweeps that need no real CPUs).
+inline std::vector<unsigned> figure2_thread_sweep(unsigned max_threads = 0) {
     const unsigned cap = max_threads == 0 ? 16 : max_threads;
     std::vector<unsigned> sweep;
     for (const unsigned n : {1u, 2u, 4u, 8u, 16u})

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare google-benchmark --json blobs against
+BENCH_baseline.json.
+
+CI's Release job runs micro_stm / micro_timebase with --json and feeds the
+blobs through this script. The committed baseline was recorded on a
+different host than the CI runners, so the tolerance is deliberately
+generous (default 3x): the gate exists to catch order-of-magnitude
+regressions -- an accidentally reintroduced per-access allocation, an O(n)
+scan where the hot path had O(1) -- not single-digit-percent noise.
+Improvements never fail the gate. Multi-threaded (/threads:N) rows are
+excluded unless --gate-threads is given: contended costs depend on real
+core count and cache topology, so they don't compare across hosts. A
+benchmark present in the baseline but missing from the current run fails
+the gate (coverage loss must update the baseline in the same PR).
+
+Usage:
+    check_bench.py --baseline BENCH_baseline.json [--tolerance 3.0] \
+        micro_stm=path/to/micro_stm.json [micro_timebase=path.json ...]
+
+Each positional argument pairs a driver name (a key under "drivers" in the
+baseline) with that driver's fresh --json output. Exit codes: 0 all within
+tolerance, 1 at least one regression, 2 usage/file errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(blob):
+    """name -> cpu_time in ns, per-iteration rows only (no aggregates)."""
+    out = {}
+    for row in blob.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"warning: unknown time_unit {unit!r} for "
+                  f"{row.get('name')}, skipping", file=sys.stderr)
+            continue
+        out[row["name"]] = float(row["cpu_time"]) * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare bench --json output against BENCH_baseline.json")
+    ap.add_argument("--baseline", required=True,
+                    help="path to BENCH_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="fail when current/baseline exceeds this ratio "
+                         "(default: 3.0)")
+    ap.add_argument("--min-ns", type=float, default=2.0,
+                    help="skip rows whose baseline cpu_time is below this "
+                         "(default: 2.0). Sub-ns rows (a single atomic "
+                         "load) are dominated by benchmark-loop overhead, "
+                         "where host/toolchain differences alone approach "
+                         "the tolerance")
+    ap.add_argument("--gate-threads", action="store_true",
+                    help="also gate multi-threaded (/threads:N) rows. Off "
+                         "by default: contended costs are machine-shaped "
+                         "(a 1-CPU baseline host never pays real cache-line "
+                         "ping-pong), so cross-host ratios on those rows "
+                         "measure the hardware, not the code")
+    ap.add_argument("pairs", nargs="+", metavar="driver=current.json",
+                    help="driver name (key under baseline 'drivers') and its "
+                         "fresh --json blob")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    compared = 0
+    for pair in args.pairs:
+        if "=" not in pair:
+            print(f"error: expected driver=path, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        driver, path = pair.split("=", 1)
+        base_driver = baseline.get("drivers", {}).get(driver)
+        if base_driver is None:
+            print(f"error: driver {driver!r} not in baseline",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(path) as f:
+                current = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+
+        base = load_benchmarks(base_driver)
+        cur = load_benchmarks(current)
+        if not args.gate_threads:
+            base = {k: v for k, v in base.items() if "/threads:" not in k}
+            cur = {k: v for k, v in cur.items() if "/threads:" not in k}
+        # A benchmark that exists in the baseline but not in the fresh run
+        # is coverage loss, not noise: renaming or #ifdef-ing out a gated
+        # benchmark must update BENCH_baseline.json in the same PR.
+        for name in sorted(set(base) - set(cur)):
+            print(f"{driver}: {name} in baseline but missing from current "
+                  f"run  MISSING", file=sys.stderr)
+            regressions += 1
+
+        print(f"\n{driver} (tolerance {args.tolerance:g}x):")
+        print(f"  {'benchmark':<44} {'base ns':>12} {'now ns':>12} "
+              f"{'ratio':>7}")
+        for name in sorted(set(base) & set(cur)):
+            if base[name] <= 0:
+                continue
+            if base[name] < args.min_ns:
+                print(f"  {name:<44} {base[name]:>12.1f} {cur[name]:>12.1f} "
+                      f"{'—':>7}  skipped (< --min-ns)")
+                continue
+            ratio = cur[name] / base[name]
+            verdict = "REGRESSION" if ratio > args.tolerance else "ok"
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {base[name]:>12.1f} {cur[name]:>12.1f} "
+                  f"{ratio:>6.2f}x  {verdict}")
+
+    if regressions:
+        print(f"\nFAIL: {regressions} benchmarks regressed past "
+              f"{args.tolerance:g}x or went missing ({compared} compared)",
+              file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("error: nothing compared (no benchmark names in common)",
+              file=sys.stderr)
+        return 2
+    print(f"\nOK: {compared} benchmarks within {args.tolerance:g}x of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+// Tier-1 tests for the clock-sync probe (clocksync/sync_probe.hpp) against
+// MMTimerSim's injected offsets (ground truth known). Two directions, both
+// predicted by the paper's reasoning:
+//  * offsets below the read latency hide under the measurement error --
+//    the estimated error dominates the true injected offset every round;
+//  * offsets well above the error floor are *measured*, so error >= offset
+//    breaks, while |offset| + error keeps covering the ground truth.
+// The break threshold is calibrated from a zero-injection run instead of a
+// hardcoded tick count so the test stays meaningful on hosts where
+// scheduling (e.g. one CPU for three threads) honestly widens the windows.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include <chronostm/clocksync/sync_probe.hpp>
+#include <chronostm/timebase/mmtimer.hpp>
+#include <chronostm/util/stats.hpp>
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+std::vector<csync::SyncRound> probe_mmtimer(std::int64_t inject, int rounds) {
+    tb::MMTimerSim::Params p;
+    p.nodes = 2;
+    p.max_node_offset_ticks = inject;
+    // Stack lifetime is fine: run_sync_probe joins all threads before
+    // returning.
+    tb::MMTimerSim sim(p);
+    std::vector<std::function<std::int64_t()>> clocks;
+    for (unsigned n = 0; n < sim.nodes(); ++n)
+        clocks.emplace_back([&sim, n]() -> std::int64_t {
+            return static_cast<std::int64_t>(sim.read(n));
+        });
+    csync::SyncProbeConfig cfg;
+    cfg.rounds = rounds;
+    cfg.exchanges_per_round = 8;
+    cfg.round_interval_us = 0;
+    cfg.pin_threads = false;  // test hosts may have fewer CPUs than nodes
+    return csync::run_sync_probe(clocks, cfg);
+}
+
+void check_error_dominates_small_offsets() {
+    // inject=4 is below the 7-tick read latency: the window of every
+    // exchange contains two full reads, so the error bound sits at >= 7
+    // ticks and must dominate the true injected offset on every round.
+    const std::int64_t inject = 4;
+    const auto rounds = probe_mmtimer(inject, 8);
+    CHECK(rounds.size() == 8);
+    for (const auto& r : rounds) {
+        CHECK(r.valid_probes == 1);
+        CHECK_MSG(r.max_error >= static_cast<double>(inject),
+                  "error %.1f vs injected %lld", r.max_error,
+                  static_cast<long long>(inject));
+        // The estimated bound must cover the ground truth, always.
+        CHECK(r.max_error_plus_offset + 1.0 >= static_cast<double>(inject));
+    }
+}
+
+void check_invariant_breaks_past_read_latency() {
+    // Calibrate the host's error floor with zero injection, then inject an
+    // offset far above it: the probe must now *measure* the offset, and
+    // error >= offset must break -- exactly the paper's prediction for a
+    // badly synchronized clock.
+    std::vector<double> floor_errors;
+    for (const auto& r : probe_mmtimer(0, 8))
+        floor_errors.push_back(r.max_error);
+    const double floor = median(floor_errors);
+    CHECK_MSG(floor >= 7.0, "error floor %.1f below the 7-tick read latency",
+              floor);
+
+    const auto inject = static_cast<std::int64_t>(8.0 * floor) + 8;
+    std::vector<double> offsets, errors, bounds;
+    for (const auto& r : probe_mmtimer(inject, 8)) {
+        offsets.push_back(r.max_abs_offset);
+        errors.push_back(r.max_error);
+        bounds.push_back(r.max_error_plus_offset);
+    }
+    CHECK_MSG(median(offsets) > median(errors),
+              "offset %.1f error %.1f inject %lld", median(offsets),
+              median(errors), static_cast<long long>(inject));
+    // Soundness survives the break: the bound still covers the truth.
+    CHECK(median(bounds) + 1.0 >= static_cast<double>(inject));
+}
+
+void check_degenerate_inputs() {
+    // A single clock has nothing to probe: rows come back empty, no hang.
+    std::vector<std::function<std::int64_t()>> one{
+        []() -> std::int64_t { return 42; }};
+    csync::SyncProbeConfig cfg;
+    cfg.rounds = 3;
+    const auto rounds = csync::run_sync_probe(one, cfg);
+    CHECK(rounds.size() == 3);
+    for (const auto& r : rounds) {
+        CHECK(r.valid_probes == 0);
+        CHECK(r.max_error == 0 && r.max_abs_offset == 0);
+    }
+    CHECK(csync::run_sync_probe({}, cfg).size() == 3);
+}
+
+}  // namespace
+
+int main() {
+    check_error_dominates_small_offsets();
+    check_invariant_breaks_past_read_latency();
+    check_degenerate_inputs();
+    std::printf("test_clocksync: OK\n");
+    return 0;
+}

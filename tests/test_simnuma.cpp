@@ -1,0 +1,137 @@
+// Tier-1 tests for the ccNUMA machine model (simnuma/machine.hpp): the
+// simulation must be deterministic per seed, its event clocks must be
+// physically sane, and it must reproduce the Figure-2 cost structure --
+// shared-counter throughput saturates and never recovers past the
+// saturation point, while the local-timer curve is monotone in P.
+
+#include <cstdio>
+#include <vector>
+
+#include <chronostm/simnuma/machine.hpp>
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+sim::MachineConfig base_config(unsigned processors, sim::SimTimeBase tb,
+                               std::uint64_t seed) {
+    sim::MachineConfig cfg;  // driver defaults: Altix-class calibration
+    cfg.processors = processors;
+    cfg.txn_accesses = 10;
+    cfg.duration_ms = 10.0;
+    cfg.seed = seed;
+    cfg.time_base = tb;
+    return cfg;
+}
+
+std::vector<sim::MachineResult> run_sweep(sim::SimTimeBase tb,
+                                          std::uint64_t seed) {
+    std::vector<sim::MachineResult> out;
+    for (const unsigned p : {1u, 2u, 4u, 8u, 16u})
+        out.push_back(sim::simulate_machine(base_config(p, tb, seed)));
+    return out;
+}
+
+void check_determinism() {
+    for (const auto tb :
+         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer}) {
+        const auto a = run_sweep(tb, 7);
+        const auto b = run_sweep(tb, 7);
+        CHECK(a.size() == b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            // Same seed => bit-identical sweep, doubles included.
+            CHECK(a[i].committed_txns == b[i].committed_txns);
+            CHECK(a[i].mtx_per_sec == b[i].mtx_per_sec);
+            CHECK(a[i].line_busy_ns == b[i].line_busy_ns);
+            CHECK(a[i].proc_clock_ns == b[i].proc_clock_ns);
+            CHECK(a[i].per_proc_commits == b[i].per_proc_commits);
+        }
+    }
+    // Distinct seeds must perturb the interleaving somewhere in the sweep
+    // (the jitter stream is the only randomness).
+    const auto s1 = run_sweep(sim::SimTimeBase::SharedCounter, 7);
+    const auto s2 = run_sweep(sim::SimTimeBase::SharedCounter, 8);
+    bool differs = false;
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        differs = differs || s1[i].proc_clock_ns != s2[i].proc_clock_ns;
+    CHECK(differs);
+}
+
+void check_event_clocks() {
+    for (const auto tb :
+         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer}) {
+        for (const unsigned p : {1u, 3u, 16u}) {
+            const auto cfg = base_config(p, tb, 3);
+            const auto res = sim::simulate_machine(cfg);
+            CHECK(res.clocks_monotone);
+            CHECK(res.proc_clock_ns.size() == p);
+            const double horizon = cfg.duration_ms * 1e6;
+            std::uint64_t total = 0;
+            for (unsigned i = 0; i < p; ++i) {
+                // Every processor ran through the whole window and stopped
+                // at its first commit past the horizon.
+                CHECK_MSG(res.proc_clock_ns[i] > horizon, "proc %u clock %.1f",
+                          i, res.proc_clock_ns[i]);
+                CHECK(res.per_proc_commits[i] > 0);
+                total += res.per_proc_commits[i];
+            }
+            CHECK(total == res.committed_txns);
+            if (tb == sim::SimTimeBase::SharedCounter) {
+                // The line is a physical resource: utilization over the
+                // window cannot exceed 1 (post-horizon drain grants are
+                // clamped out of line_busy_ns).
+                CHECK(res.line_busy_ns <= horizon);
+                if (p == 1) CHECK(res.line_remote_transfers <= 1);
+            }
+        }
+    }
+}
+
+void check_figure2_shape() {
+    for (const unsigned accesses : {10u, 50u, 100u}) {
+        std::vector<double> counter, timer;
+        std::vector<unsigned> procs = {1u, 2u, 4u, 8u, 16u};
+        for (const unsigned p : procs) {
+            auto cfg = base_config(p, sim::SimTimeBase::SharedCounter, 11);
+            cfg.txn_accesses = accesses;
+            counter.push_back(sim::simulate_machine(cfg).mtx_per_sec);
+            cfg.time_base = sim::SimTimeBase::LocalTimer;
+            timer.push_back(sim::simulate_machine(cfg).mtx_per_sec);
+        }
+        // Timer: embarrassingly parallel, so each doubling of P must
+        // scale throughput near-linearly (>1.5x per step is a loose
+        // floor on ~2x; the sweep points are consecutive doublings).
+        for (std::size_t i = 1; i < timer.size(); ++i)
+            CHECK_MSG(timer[i] > timer[i - 1] * 1.5,
+                      "accesses=%u timer %.3f -> %.3f", accesses,
+                      timer[i - 1], timer[i]);
+        // Counter: find the saturation peak; throughput must be
+        // non-increasing at every later point and strictly lower at 16.
+        std::size_t peak = 0;
+        for (std::size_t i = 1; i < counter.size(); ++i)
+            if (counter[i] > counter[peak]) peak = i;
+        CHECK_MSG(peak < counter.size() - 1, "accesses=%u peak at P=%u",
+                  accesses, procs[peak]);
+        for (std::size_t i = peak + 1; i < counter.size(); ++i)
+            CHECK_MSG(counter[i] <= counter[i - 1] * 1.001,
+                      "accesses=%u counter %.3f -> %.3f past saturation",
+                      accesses, counter[i - 1], counter[i]);
+        CHECK(counter.back() < counter[peak]);
+        // The crossover the paper highlights: timer wins at 16 in every
+        // panel; the counter keeps only the single-thread short-txn case.
+        CHECK(timer.back() > counter.back());
+        if (accesses == 10) CHECK(counter.front() > timer.front());
+    }
+}
+
+}  // namespace
+
+int main() {
+    check_determinism();
+    check_event_clocks();
+    check_figure2_shape();
+    std::printf("test_simnuma: OK\n");
+    return 0;
+}
