@@ -13,11 +13,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <functional>
 #include <vector>
 
 #include <chronostm/clocksync/sync_probe.hpp>
-#include <chronostm/timebase/mmtimer.hpp>
+#include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
@@ -28,30 +29,52 @@ using namespace chronostm;
 
 int main(int argc, char** argv) {
     Cli cli("Figure 1: MMTimer synchronization errors and offsets");
+    cli.flag_str("timebase", "mmtimer",
+                 "probed time base, facade spec grammar (mmtimer[:freq-hz=.."
+                 ",latency=..,nodes=..,offset=..]); --nodes/--inject "
+                 "override the spec's keys");
     cli.flag_i64("rounds", 40, "measurement rounds (paper: 4h at 10/s)")
         .flag_i64("interval-us", 5000, "pause between rounds")
         .flag_i64("exchanges", 16, "probe exchanges per round (best kept)")
-        .flag_i64("nodes", 2, "MMTimer nodes (probes = nodes-1)")
-        .flag_i64("inject", 4,
-                  "max injected per-node offset, ticks. The default models "
+        .flag_i64("nodes", 0, "MMTimer nodes, 0 = spec's (probes = nodes-1)")
+        .flag_i64("inject", -1,
+                  "max injected per-node offset in ticks, -1 = spec's "
+                  "(default 4). The default models "
                   "the hardware-synchronized device of the paper (offsets "
                   "below the read latency); raise it to study a badly "
                   "synchronized clock -- error>=offset is then expected to "
                   "fail, exactly as the paper's reasoning predicts")
         .flag_str("json", "", "write machine-readable results to this path");
+    // The probed device is configured through the facade's spec grammar
+    // (the uniform --timebase spelling every driver shares); the legacy
+    // --nodes/--inject flags override the spec's keys. Parsed inside the
+    // try so a typoed name, key, or value exits 2 with a one-line error.
+    tb::MMTimerSim::Params mcfg;
     try {
         if (!cli.parse(argc, argv)) return 0;
+        const tb::TimeBaseSpec tspec = tb::parse_spec(cli.str("timebase"));
+        if (tspec.name != "mmtimer")
+            throw std::invalid_argument(
+                "fig1_clocksync probes the simulated MMTimer; --timebase "
+                "must be an mmtimer spec (got '" + tspec.name + "')");
+        tspec.require_keys({"freq-hz", "latency", "nodes", "offset"});
+        mcfg.freq_hz = tspec.num("freq-hz", mcfg.freq_hz);
+        mcfg.read_latency_ticks = static_cast<unsigned>(
+            tspec.u64("latency", mcfg.read_latency_ticks));
+        mcfg.nodes = static_cast<unsigned>(tspec.u64("nodes", 2));
+        mcfg.max_node_offset_ticks =
+            static_cast<std::int64_t>(tspec.num("offset", 4.0));
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+    if (cli.i64("nodes") > 0)
+        mcfg.nodes = static_cast<unsigned>(cli.i64("nodes"));
+    if (cli.i64("inject") >= 0) mcfg.max_node_offset_ticks = cli.i64("inject");
 
     std::printf("== Reproduction of Figure 1 (SPAA'07, Riegel/Fetzer/Felber) ==\n"
                 "Workload: shared-memory clock comparison, reference node 0\n\n");
 
-    tb::MMTimerSim::Params mcfg;
-    mcfg.nodes = static_cast<unsigned>(cli.i64("nodes"));
-    mcfg.max_node_offset_ticks = cli.i64("inject");
     tb::MMTimerSim sim(mcfg);
 
     csync::SyncProbeConfig pcfg;

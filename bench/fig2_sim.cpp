@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <chronostm/simnuma/machine.hpp>
@@ -27,6 +29,10 @@ using namespace chronostm;
 
 int main(int argc, char** argv) {
     Cli cli("Figure 2 on the ccNUMA machine model (16-way sweep)");
+    cli.flag_str("timebase", "shared,mmtimer",
+                 "simulated series, facade spec grammar: shared and mmtimer "
+                 "(both required -- the gated Figure-2 shapes compare them) "
+                 "plus optionally sharded[:domains=N] for a third column");
     cli.flag_f64("duration-ms", 40.0, "simulated window per point")
         .flag_f64("access-ns", 150.0, "STM work per object access")
         .flag_f64("commit-ns", 250.0, "fixed commit cost")
@@ -34,9 +40,37 @@ int main(int argc, char** argv) {
         .flag_f64("line-base-ns", 450.0, "counter line transfer, base")
         .flag_f64("line-hop-ns", 240.0, "counter line transfer, per log2(P)")
         .flag_i64("seed", 1, "simulation seed (same seed => same sweep)")
+        .flag_str("domains", "1,2,4,8",
+                  "clock-domain sweep for the sharded-counter model "
+                  "(comma-separated; empty disables the section)")
+        .flag_i64("wm-period", 32,
+                  "sharded model: commits between watermark publishes")
         .flag_str("json", "", "write machine-readable results to this path");
+    bool with_sharded = false;
+    unsigned sharded_domains = 1;
     try {
         if (!cli.parse(argc, argv)) return 0;
+        bool has_shared = false, has_mmtimer = false;
+        for (const auto& raw : tb::split_specs(cli.str("timebase"))) {
+            const tb::TimeBaseSpec spec = tb::parse_spec(raw);
+            if (spec.name == "shared") {
+                has_shared = true;
+            } else if (spec.name == "mmtimer") {
+                has_mmtimer = true;
+            } else if (spec.name == "sharded") {
+                with_sharded = true;
+                sharded_domains =
+                    static_cast<unsigned>(spec.u64("domains", 1));
+            } else {
+                throw std::invalid_argument(
+                    "fig2_sim simulates shared, mmtimer, and "
+                    "sharded[:domains=N]; got '" + spec.name + "'");
+            }
+        }
+        if (!has_shared || !has_mmtimer)
+            throw std::invalid_argument(
+                "fig2_sim needs both shared and mmtimer in --timebase: the "
+                "CI-gated Figure-2 shapes compare exactly those two series");
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -60,7 +94,12 @@ int main(int argc, char** argv) {
     for (const unsigned accesses : {10u, 50u, 100u}) {
         Table t("panel: " + std::to_string(accesses) +
                 " accesses per update transaction (Mtx/s, simulated)");
-        t.set_header({"processors", "SharedCounter", "MMTimer"});
+        std::vector<std::string> header{"processors", "SharedCounter",
+                                        "MMTimer"};
+        if (with_sharded)
+            header.push_back("Sharded(D=" + std::to_string(sharded_domains) +
+                             ")");
+        t.set_header(header);
         json.obj_begin().kv("accesses", accesses).key("rows").arr_begin();
 
         std::vector<double> counter_series, timer_series;
@@ -83,17 +122,28 @@ int main(int argc, char** argv) {
 
             counter_series.push_back(counter.mtx_per_sec);
             timer_series.push_back(timer.mtx_per_sec);
-            t.add_row({Table::num(static_cast<std::uint64_t>(p)),
-                       Table::num(counter.mtx_per_sec, 3),
-                       Table::num(timer.mtx_per_sec, 3)});
+            std::vector<std::string> row{
+                Table::num(static_cast<std::uint64_t>(p)),
+                Table::num(counter.mtx_per_sec, 3),
+                Table::num(timer.mtx_per_sec, 3)};
             json.obj_begin()
                 .kv("processors", p)
                 .kv("shared_counter_mtxs", counter.mtx_per_sec)
                 .kv("mmtimer_mtxs", timer.mtx_per_sec)
                 .kv("line_utilization",
                     counter.sim_ns > 0 ? counter.line_busy_ns / counter.sim_ns
-                                       : 0.0)
-                .obj_end();
+                                       : 0.0);
+            if (with_sharded) {
+                cfg.time_base = sim::SimTimeBase::ShardedCounter;
+                cfg.clock_domains = sharded_domains;
+                cfg.watermark_period =
+                    static_cast<unsigned>(cli.i64("wm-period"));
+                const auto sharded = sim::simulate_machine(cfg);
+                row.push_back(Table::num(sharded.mtx_per_sec, 3));
+                json.kv("sharded_counter_mtxs", sharded.mtx_per_sec);
+            }
+            json.obj_end();
+            t.add_row(row);
         }
         t.print(std::cout);
 
@@ -142,8 +192,107 @@ int main(int argc, char** argv) {
         json.obj_end().obj_end();
     }
 
+    json.arr_end();
+
+    // ---- NUMA clock-domain sweep (sharded counter model) ----
+    // The per-domain counter lines split the commit-time fetch&inc load D
+    // ways (and shrink the transfer diameter to the domain), so the
+    // saturation point -- the processor count where throughput peaks --
+    // must move right as domains are added. That is the self-check: the
+    // peak's position is non-decreasing in D and strictly larger at the
+    // largest D than at D=1.
+    std::vector<unsigned> domain_sweep;
+    {
+        const std::string& csv = cli.str("domains");
+        std::size_t pos = 0;
+        while (pos <= csv.size()) {
+            auto comma = csv.find(',', pos);
+            if (comma == std::string::npos) comma = csv.size();
+            const std::string tok = csv.substr(pos, comma - pos);
+            if (!tok.empty())
+                domain_sweep.push_back(
+                    static_cast<unsigned>(std::strtoul(tok.c_str(), nullptr,
+                                                       10)));
+            pos = comma + 1;
+        }
+    }
+    if (!domain_sweep.empty()) {
+        Table t("clock-domain sweep: sharded counter, 10-access txns "
+                "(Mtx/s, simulated)");
+        std::vector<std::string> header{"processors"};
+        for (const unsigned d : domain_sweep)
+            header.push_back("D=" + std::to_string(d));
+        t.set_header(header);
+        json.key("domain_sweep").obj_begin();
+        json.kv("wm_period",
+                static_cast<std::uint64_t>(cli.i64("wm-period")));
+        json.key("rows").arr_begin();
+
+        std::vector<std::vector<double>> series(domain_sweep.size());
+        for (const unsigned p : sweep) {
+            std::vector<std::string> row{
+                Table::num(static_cast<std::uint64_t>(p))};
+            json.obj_begin().kv("processors", p).key("series").arr_begin();
+            for (std::size_t i = 0; i < domain_sweep.size(); ++i) {
+                sim::MachineConfig cfg;
+                cfg.processors = p;
+                cfg.txn_accesses = 10;
+                cfg.duration_ms = cli.f64("duration-ms");
+                cfg.seed = static_cast<std::uint64_t>(cli.i64("seed"));
+                cfg.access_ns = cli.f64("access-ns");
+                cfg.commit_fixed_ns = cli.f64("commit-ns");
+                cfg.timer_read_ns = cli.f64("timer-ns");
+                cfg.counter_remote_base_ns = cli.f64("line-base-ns");
+                cfg.counter_remote_hop_ns = cli.f64("line-hop-ns");
+                cfg.time_base = sim::SimTimeBase::ShardedCounter;
+                cfg.clock_domains = domain_sweep[i];
+                cfg.watermark_period =
+                    static_cast<unsigned>(cli.i64("wm-period"));
+                const auto r = sim::simulate_machine(cfg);
+                series[i].push_back(r.mtx_per_sec);
+                row.push_back(Table::num(r.mtx_per_sec, 3));
+                json.obj_begin()
+                    .kv("domains", domain_sweep[i])
+                    .kv("mtxs", r.mtx_per_sec)
+                    .obj_end();
+            }
+            json.arr_end().obj_end();
+            t.add_row(row);
+        }
+        t.add_note("per-domain counter lines; every wm-period commits pay a "
+                   "full-diameter watermark publish");
+        t.print(std::cout);
+
+        const auto peak_of = [&](const std::vector<double>& s) {
+            return static_cast<std::size_t>(
+                std::max_element(s.begin(), s.end()) - s.begin());
+        };
+        bool moves_right = true;
+        for (std::size_t i = 1; i < series.size(); ++i)
+            moves_right =
+                moves_right && peak_of(series[i]) >= peak_of(series[i - 1]);
+        const bool strictly_later =
+            series.size() < 2 ||
+            peak_of(series.back()) > peak_of(series.front());
+        std::printf("SHAPE-CHECK sharded saturation point moves right with "
+                    "domains (peak P: D=%u at %u -> D=%u at %u): %s\n",
+                    domain_sweep.front(), sweep[peak_of(series.front())],
+                    domain_sweep.back(), sweep[peak_of(series.back())],
+                    moves_right && strictly_later ? "PASS" : "FAIL");
+        all_pass = all_pass && moves_right && strictly_later;
+        json.arr_end()  // rows
+            .key("checks")
+            .obj_begin()
+            .kv("peak_moves_right", moves_right && strictly_later)
+            .kv("peak_p_first", sweep[peak_of(series.front())])
+            .kv("peak_p_last", sweep[peak_of(series.back())])
+            .obj_end()
+            .obj_end();  // domain_sweep
+        std::printf("\n");
+    }
+
     std::printf("overall: %s\n", all_pass ? "PASS" : "FAIL");
-    json.arr_end().kv("all_pass", all_pass).obj_end();
+    json.kv("all_pass", all_pass).obj_end();
     if (!write_json_flag(cli.str("json"), json)) return 2;
     return all_pass ? 0 : 1;
 }

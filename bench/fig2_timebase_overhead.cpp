@@ -3,7 +3,9 @@
 //
 // Workload (paper Section 4.2): disjoint update transactions of 10/50/100
 // accesses -- zero conflicts, so throughput isolates the time-base cost.
-// Series: shared integer counter vs MMTimer(-sim) vs host hardware clock.
+// Series come from the uniform --timebase flag (registry specs through the
+// runtime facade), defaulting to the paper's counter-vs-clock comparison
+// plus this repo's scalable counters.
 //
 // Paper's shape: (1) for short transactions at 1 thread the counter beats
 // MMTimer (its read latency dominates); (2) the counter stops scaling with
@@ -17,13 +19,10 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <chronostm/stm/adapter.hpp>
-#include <chronostm/timebase/batched_counter.hpp>
-#include <chronostm/timebase/mmtimer.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
@@ -35,16 +34,16 @@ using namespace chronostm;
 
 namespace {
 
-template <typename A>
-double measure(A& adapter, unsigned threads, unsigned accesses,
+double measure(stm::LsaAdapter& adapter, unsigned threads, unsigned accesses,
                double duration_ms) {
-    wl::DisjointWorkload<A> work(threads, 256);
+    wl::DisjointWorkload<stm::LsaAdapter> work(threads, 256);
     wl::RunSpec spec;
     spec.threads = threads;
     spec.warmup_ms = duration_ms / 5;
     spec.duration_ms = duration_ms;
     const auto res = wl::run_throughput(spec, [&](unsigned tid) {
-        auto ctx = std::make_shared<typename A::Context>(adapter.make_context());
+        auto ctx = std::make_shared<stm::LsaAdapter::Context>(
+            adapter.make_context());
         auto rng = std::make_shared<Rng>(tid * 31 + 7);
         return [&adapter, &work, tid, accesses, ctx, rng] {
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
@@ -57,21 +56,26 @@ double measure(A& adapter, unsigned threads, unsigned accesses,
 
 int main(int argc, char** argv) {
     Cli cli("Figure 2: time-base overhead, disjoint update transactions");
+    wl::flag_timebase(cli, "shared,batched:B=8,sharded:S=4,mmtimer,perfect");
     cli.flag_i64("duration-ms", 300, "measured window per point")
         .flag_i64("max-threads", 0, "cap thread sweep (0 = paper's 16)")
         .flag_i64("objects", 256, "objects per thread partition")
-        .flag_i64("batch", 8, "batched-counter block size B")
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
+        wl::validate_timebase_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const double duration = static_cast<double>(cli.i64("duration-ms"));
-    const auto batch = static_cast<std::uint64_t>(cli.i64("batch"));
+    const auto tb_specs = tb::split_specs(cli.str("timebase"));
     const auto sweep = wl::figure2_thread_sweep(
         static_cast<unsigned>(cli.i64("max-threads")));
+    if (tb_specs.empty()) {
+        std::fprintf(stderr, "error: --timebase resolved to no specs\n");
+        return 2;
+    }
 
     std::printf("== Reproduction of Figure 2 (SPAA'07) -- real threads ==\n"
                 "host hardware threads: %u%s\n\n",
@@ -85,82 +89,73 @@ int main(int argc, char** argv) {
         .kv("driver", "fig2_timebase_overhead")
         .kv("host_threads", hardware_threads())
         .kv("duration_ms", duration)
-        .kv("batch", batch)
+        .kv("timebase", cli.str("timebase"))
         .key("panels")
         .arr_begin();
+
+    const long shared_i = wl::find_timebase_spec(tb_specs, "shared");
+    const long mmtimer_i = wl::find_timebase_spec(tb_specs, "mmtimer");
+    const long clock_i = wl::find_timebase_spec(tb_specs, "perfect");
 
     for (const unsigned accesses : {10u, 50u, 100u}) {
         Table t("panel: " + std::to_string(accesses) +
                 " accesses per update transaction (Mtx/s)");
-        t.set_header({"threads", "SharedCounter", "BatchedCounter", "MMTimer",
-                      "HardwareClock", "oversub"});
+        std::vector<std::string> header{"threads"};
+        for (const auto& spec : tb_specs) header.push_back(spec);
+        header.push_back("oversub");
+        t.set_header(header);
         json.obj_begin()
             .kv("accesses", accesses)
             .key("rows")
             .arr_begin();
 
-        std::vector<double> counter_series, mmtimer_series, clock_series;
+        std::vector<std::vector<double>> series(tb_specs.size());
         for (const unsigned n : sweep) {
-            double c, b, m, h;
-            {
-                tb::SharedCounterTimeBase tbase;
-                stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
-                c = measure(a, n, accesses, duration);
+            std::vector<std::string> row{
+                Table::num(static_cast<std::uint64_t>(n))};
+            json.obj_begin().kv("threads", n).key("series").arr_begin();
+            for (std::size_t i = 0; i < tb_specs.size(); ++i) {
+                stm::LsaAdapter a(tb::make(tb_specs[i]));
+                const double mtx = measure(a, n, accesses, duration);
+                series[i].push_back(mtx);
+                row.push_back(Table::num(mtx, 3));
+                json.obj_begin()
+                    .kv("timebase", tb_specs[i])
+                    .kv("mtxs", mtx)
+                    .obj_end();
             }
-            {
-                tb::BatchedCounterTimeBase tbase(batch);
-                stm::LsaAdapter<tb::BatchedCounterTimeBase> a(tbase);
-                b = measure(a, n, accesses, duration);
-            }
-            {
-                tb::MMTimerSim sim;  // 20 MHz, 7-tick read latency
-                tb::MMTimerClockTimeBase tbase(sim);
-                stm::LsaAdapter<tb::MMTimerClockTimeBase> a(tbase);
-                m = measure(a, n, accesses, duration);
-            }
-            {
-                tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
-                stm::LsaAdapter<tb::PerfectClockTimeBase> a(tbase);
-                h = measure(a, n, accesses, duration);
-            }
-            counter_series.push_back(c);
-            mmtimer_series.push_back(m);
-            clock_series.push_back(h);
-            t.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                       Table::num(c, 3), Table::num(b, 3), Table::num(m, 3),
-                       Table::num(h, 3),
-                       n > hardware_threads() ? "yes" : ""});
-            json.obj_begin()
-                .kv("threads", n)
-                .kv("shared_counter_mtxs", c)
-                .kv("batched_counter_mtxs", b)
-                .kv("mmtimer_mtxs", m)
-                .kv("hardware_clock_mtxs", h)
+            json.arr_end()
                 .kv("oversubscribed", n > hardware_threads())
                 .obj_end();
+            row.push_back(n > hardware_threads() ? "yes" : "");
+            t.add_row(row);
         }
         json.arr_end().obj_end();
-        t.add_note("series = LSA-RT over each time base; workload identical");
-        t.add_note("BatchedCounter trades freshness aborts (data committed "
-                   "within ~B stamps is unreadable) for 1/B the counter "
-                   "RMWs; the win side needs multi-core contention, the "
-                   "cost side shows everywhere (--batch to tune)");
+        t.add_note("series = LSA-RT over each time base via the runtime "
+                   "facade; workload identical");
+        t.add_note("batched/sharded trade freshness aborts (recently "
+                   "committed data is unreadable for ~2*deviation stamps) "
+                   "for fewer shared-line RMWs; tune via B / S,K");
         t.print(std::cout);
 
-        // Shape checks on the non-oversubscribed prefix.
+        // Shape checks on the non-oversubscribed prefix, only for the
+        // series the paper compares (skipped when absent from the sweep).
         std::size_t hw_points = 0;
-        while (hw_points < sweep.size() && sweep[hw_points] <= hardware_threads())
+        while (hw_points < sweep.size() &&
+               sweep[hw_points] <= hardware_threads())
             ++hw_points;
-        if (accesses == 10 && hw_points > 0) {
+        if (accesses == 10 && hw_points > 0 && shared_i >= 0 &&
+            mmtimer_i >= 0) {
             std::printf("SHAPE-CHECK counter beats MMTimer at 1 thread "
                         "(short txns): %s\n",
-                        counter_series[0] > mmtimer_series[0] ? "PASS" : "FAIL");
+                        series[shared_i][0] > series[mmtimer_i][0] ? "PASS"
+                                                                   : "FAIL");
         }
-        if (hw_points >= 3) {
+        if (hw_points >= 3 && shared_i >= 0 && clock_i >= 0) {
             const double counter_scale =
-                counter_series[hw_points - 1] / counter_series[0];
+                series[shared_i][hw_points - 1] / series[shared_i][0];
             const double clock_scale =
-                clock_series[hw_points - 1] / clock_series[0];
+                series[clock_i][hw_points - 1] / series[clock_i][0];
             std::printf("SHAPE-CHECK clock scales at least as well as counter "
                         "(within hardware): %s (clock x%.2f vs counter x%.2f)\n",
                         clock_scale >= counter_scale * 0.9 ? "PASS" : "FAIL",

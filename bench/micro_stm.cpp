@@ -3,40 +3,43 @@
 // various footprints, update transactions, read-after-write, and the
 // incremental cost of one more access. Run per time base to see where the
 // time base enters the critical path (start + commit only).
+//
+// Time bases resolve through the runtime facade (tb::make): the static
+// Counter/Clock rows cover the baseline-gated configurations, and the
+// uniform --timebase=<spec[,spec...]> flag registers extra
+// BM_ReadOnly_TB/... rows for any registry spec (sharded, adaptive, ...).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/gbench_main.hpp>
 
 namespace {
 
 using namespace chronostm;
 
-template <typename TB>
 struct Rig {
-    TB tbase;
-    LsaStm<TB> stm{tbase};
-    std::vector<std::unique_ptr<TVar<long, TB>>> vars;
+    LsaStm stm;
+    std::vector<std::unique_ptr<TVar<long>>> vars;
 
-    explicit Rig(std::size_t n) {
+    Rig(const std::string& spec, std::size_t n) : stm(tb::make(spec)) {
         for (std::size_t i = 0; i < n; ++i)
-            vars.push_back(std::make_unique<TVar<long, TB>>(1));
+            vars.push_back(std::make_unique<TVar<long>>(1));
     }
 };
 
-template <typename TB>
-void bm_readonly_txn(benchmark::State& state) {
+void bm_readonly_txn(benchmark::State& state, const std::string& spec) {
     const auto reads = static_cast<std::size_t>(state.range(0));
-    Rig<TB> rig(reads);
+    Rig rig(spec, reads);
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
-        long sum = ctx.run([&](Transaction<TB>& tx) {
+        long sum = ctx.run([&](Transaction& tx) {
             long s = 0;
             for (auto& v : rig.vars) s += v->get(tx);
             return s;
@@ -46,25 +49,23 @@ void bm_readonly_txn(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
 }
 
-template <typename TB>
-void bm_update_txn(benchmark::State& state) {
+void bm_update_txn(benchmark::State& state, const std::string& spec) {
     const auto writes = static_cast<std::size_t>(state.range(0));
-    Rig<TB> rig(writes);
+    Rig rig(spec, writes);
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
-        ctx.run([&](Transaction<TB>& tx) {
+        ctx.run([&](Transaction& tx) {
             for (auto& v : rig.vars) v->set(tx, v->get(tx) + 1);
         });
     }
     state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
 }
 
-template <typename TB>
-void bm_read_after_write(benchmark::State& state) {
-    Rig<TB> rig(1);
+void bm_read_after_write(benchmark::State& state, const std::string& spec) {
+    Rig rig(spec, 1);
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
-        long v = ctx.run([&](Transaction<TB>& tx) {
+        long v = ctx.run([&](Transaction& tx) {
             rig.vars[0]->set(tx, 7);
             long s = 0;
             for (int i = 0; i < 8; ++i) s += rig.vars[0]->get(tx);
@@ -74,15 +75,12 @@ void bm_read_after_write(benchmark::State& state) {
     }
 }
 
-using Counter = tb::SharedCounterTimeBase;
-using Clock = tb::PerfectClockTimeBase;
-
-void BM_ReadOnly_Counter(benchmark::State& s) { bm_readonly_txn<Counter>(s); }
-void BM_ReadOnly_Clock(benchmark::State& s) { bm_readonly_txn<Clock>(s); }
-void BM_Update_Counter(benchmark::State& s) { bm_update_txn<Counter>(s); }
-void BM_Update_Clock(benchmark::State& s) { bm_update_txn<Clock>(s); }
+void BM_ReadOnly_Counter(benchmark::State& s) { bm_readonly_txn(s, "shared"); }
+void BM_ReadOnly_Clock(benchmark::State& s) { bm_readonly_txn(s, "perfect"); }
+void BM_Update_Counter(benchmark::State& s) { bm_update_txn(s, "shared"); }
+void BM_Update_Clock(benchmark::State& s) { bm_update_txn(s, "perfect"); }
 void BM_ReadAfterWrite_Counter(benchmark::State& s) {
-    bm_read_after_write<Counter>(s);
+    bm_read_after_write(s, "shared");
 }
 
 }  // namespace
@@ -94,5 +92,26 @@ BENCHMARK(BM_Update_Clock)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_ReadAfterWrite_Counter);
 
 int main(int argc, char** argv) {
+    // Uniform --timebase flag: each extra spec registers the full row set
+    // under a spec-tagged name, so sweeps never shadow the gated rows.
+    // Specs are resolved once up front so a typo exits 2 with the
+    // registry's message instead of aborting mid-benchmark.
+    try {
+        for (const auto& spec : chronostm::tb::split_specs(
+                 chronostm::extract_timebase_flag(argc, argv))) {
+            chronostm::tb::make(spec);
+            benchmark::RegisterBenchmark(("BM_ReadOnly_TB/" + spec).c_str(),
+                                         bm_readonly_txn, spec)
+                ->Arg(10)
+                ->Arg(100);
+            benchmark::RegisterBenchmark(("BM_Update_TB/" + spec).c_str(),
+                                         bm_update_txn, spec)
+                ->Arg(10)
+                ->Arg(100);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
     return chronostm::gbench_main_with_json(argc, argv);
 }

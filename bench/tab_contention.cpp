@@ -6,11 +6,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <memory>
 #include <vector>
 
 #include <chronostm/stm/adapter.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
@@ -21,6 +21,7 @@ using namespace chronostm;
 
 int main(int argc, char** argv) {
     Cli cli("contention-manager comparison on a hot-spot bank");
+    wl::flag_timebase(cli, "perfect");
     cli.flag_i64("threads", 4, "worker threads")
         .flag_i64("accounts", 16, "accounts (small = hot)")
         .flag_f64("zipf", 0.9, "access skew")
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
+        wl::validate_timebase_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -37,12 +39,12 @@ int main(int argc, char** argv) {
     const double zipf = cli.f64("zipf");
     const double duration = static_cast<double>(cli.i64("duration-ms"));
 
+    const std::string& tb_spec = cli.str("timebase");
     std::printf("== Contention managers under hot-spot transfers ==\n"
-                "%u threads, %u accounts, zipf %.2f\n\n",
-                threads, accounts, zipf);
+                "%u threads, %u accounts, zipf %.2f, time base %s\n\n",
+                threads, accounts, zipf, tb_spec.c_str());
 
-    using TBase = tb::PerfectClockTimeBase;
-    using A = stm::LsaAdapter<TBase>;
+    using A = stm::LsaAdapter;
 
     Table t("policy comparison");
     t.set_header({"policy", "Mtx/s", "abort ratio", "conserved"});
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
     Json json;
     json.obj_begin()
         .kv("driver", "tab_contention")
+        .kv("timebase", tb_spec)
         .kv("threads", threads)
         .kv("accounts", accounts)
         .kv("zipf", zipf)
@@ -59,10 +62,9 @@ int main(int argc, char** argv) {
 
     for (const char* policy :
          {"suicide", "aggressive", "polite", "karma", "timestamp"}) {
-        TBase tbase(tb::PerfectSource::Auto);
         StmConfig cfg;
         cfg.contention_manager = policy;
-        A adapter(tbase, cfg);
+        A adapter(tb::make(tb_spec), cfg);
         wl::Bank<A> bank(accounts, 1000, zipf);
 
         wl::RunSpec spec;

@@ -9,11 +9,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <memory>
 #include <vector>
 
 #include <chronostm/stm/adapter.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
@@ -32,13 +32,12 @@ struct Cell {
     bool conserved = true;
 };
 
-Cell run_cell(bool help, unsigned threads, double duration_ms) {
-    using TBase = tb::PerfectClockTimeBase;
-    using A = stm::LsaAdapter<TBase>;
-    TBase tbase(tb::PerfectSource::Auto);
+Cell run_cell(const std::string& tb_spec, bool help, unsigned threads,
+              double duration_ms) {
+    using A = stm::LsaAdapter;
     StmConfig cfg;
     cfg.help_committers = help;
-    A adapter(tbase, cfg);
+    A adapter(tb::make(tb_spec), cfg);
     wl::Bank<A> bank(24, 1000, 0.6);  // skewed: plenty of claim encounters
 
     wl::RunSpec spec;
@@ -63,17 +62,21 @@ Cell run_cell(bool help, unsigned threads, double duration_ms) {
 
 int main(int argc, char** argv) {
     Cli cli("helping ablation: finish committers vs spin-wait them out");
+    wl::flag_timebase(cli, "perfect");
     cli.flag_i64("duration-ms", 200, "measured window per cell")
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
+        wl::validate_timebase_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const double duration = static_cast<double>(cli.i64("duration-ms"));
+    const std::string& tb_spec = cli.str("timebase");
 
-    std::printf("== Helping ablation (LSA-RT commit protocol) ==\n\n");
+    std::printf("== Helping ablation (LSA-RT commit protocol) ==\n"
+                "time base %s\n\n", tb_spec.c_str());
     Table t("hot-spot bank transfers");
     t.set_header({"threads", "help Mtx/s", "helped ops", "spin Mtx/s",
                   "conserved", "oversub"});
@@ -83,13 +86,14 @@ int main(int argc, char** argv) {
     Json json;
     json.obj_begin()
         .kv("driver", "tab_helping")
+        .kv("timebase", tb_spec)
         .kv("host_threads", hw)
         .kv("duration_ms", duration)
         .key("rows")
         .arr_begin();
     for (const unsigned n : {2u, hw, 2 * hw}) {
-        const Cell with_help = run_cell(true, n, duration);
-        const Cell spin = run_cell(false, n, duration);
+        const Cell with_help = run_cell(tb_spec, true, n, duration);
+        const Cell spin = run_cell(tb_spec, false, n, duration);
         all_ok = all_ok && with_help.conserved && spin.conserved;
         t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                    Table::num(with_help.mtx, 3), Table::num(with_help.helped),

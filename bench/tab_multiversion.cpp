@@ -10,12 +10,12 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
@@ -25,26 +25,24 @@ using namespace chronostm;
 
 namespace {
 
-using TBase = tb::PerfectClockTimeBase;
-using Tx = Transaction<TBase>;
+using Tx = Transaction;
 
 struct Point {
     double reader_sums_per_sec = 0;
     double reader_abort_ratio = 0;
 };
 
-Point run_point(unsigned k, unsigned array_size, int reader_rounds,
-                unsigned writer_threads) {
-    TBase tbase(tb::PerfectSource::Auto);
+Point run_point(const std::string& tb_spec, unsigned k, unsigned array_size,
+                int reader_rounds, unsigned writer_threads) {
     StmConfig cfg;
     cfg.max_versions = k;
     // Isolate the version-history mechanism: without the optional read-time
     // extension, a long reader lives or dies by the old versions alone.
     cfg.read_extension = false;
-    LsaStm<TBase> stm(tbase, cfg);
-    std::vector<std::unique_ptr<TVar<long, TBase>>> arr;
+    LsaStm stm(tb::make(tb_spec), cfg);
+    std::vector<std::unique_ptr<TVar<long>>> arr;
     for (unsigned i = 0; i < array_size; ++i)
-        arr.push_back(std::make_unique<TVar<long, TBase>>(1));
+        arr.push_back(std::make_unique<TVar<long>>(1));
 
     std::atomic<bool> stop{false};
     std::vector<std::thread> writers;
@@ -90,12 +88,14 @@ Point run_point(unsigned k, unsigned array_size, int reader_rounds,
 
 int main(int argc, char** argv) {
     Cli cli("multi-version ablation: long readers vs version history depth");
-    cli.flag_i64("array", 256, "array length the reader sums")
+    cli.flag_str("timebase", "perfect", tb::spec_help())
+        .flag_i64("array", 256, "array length the reader sums")
         .flag_i64("rounds", 150, "reader transactions per point")
         .flag_i64("writers", 1, "updater threads")
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
+        tb::make(cli.str("timebase"));  // typo -> clean exit 2
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
     const auto array_size = static_cast<unsigned>(cli.i64("array"));
     const auto rounds = static_cast<int>(cli.i64("rounds"));
     const auto writers = static_cast<unsigned>(cli.i64("writers"));
+    const std::string& tb_spec = cli.str("timebase");
 
     std::printf("== Multi-version ablation (LSA-STM design choice) ==\n"
                 "reader sums %u vars while %u writer(s) update randomly\n\n",
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
     Json json;
     json.obj_begin()
         .kv("driver", "tab_multiversion")
+        .kv("timebase", tb_spec)
         .kv("array", array_size)
         .kv("rounds", static_cast<std::uint64_t>(rounds))
         .kv("writers", writers)
@@ -120,7 +122,7 @@ int main(int argc, char** argv) {
         .arr_begin();
     std::vector<Point> points;
     for (const unsigned k : {1u, 2u, 4u, 8u, 16u}) {
-        points.push_back(run_point(k, array_size, rounds, writers));
+        points.push_back(run_point(tb_spec, k, array_size, rounds, writers));
         t.add_row({Table::num(static_cast<std::uint64_t>(k)),
                    Table::num(points.back().reader_sums_per_sec, 1),
                    Table::num(points.back().reader_abort_ratio, 4)});

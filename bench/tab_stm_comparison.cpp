@@ -17,8 +17,6 @@
 #include <vector>
 
 #include <chronostm/stm/adapter.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
@@ -97,17 +95,20 @@ double bench_audit(A& adapter, unsigned threads, double duration_ms,
 
 int main(int argc, char** argv) {
     Cli cli("STM comparison: LSA-RT vs TL2 vs validation STM vs global lock");
+    wl::flag_timebase(cli, "shared,perfect");
     cli.flag_i64("threads", 2, "worker threads")
         .flag_i64("duration-ms", 250, "measured window per cell")
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
+        wl::validate_timebase_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const auto threads = static_cast<unsigned>(cli.i64("threads"));
     const double duration = static_cast<double>(cli.i64("duration-ms"));
+    const auto tb_specs = tb::split_specs(cli.str("timebase"));
 
     std::printf("== STM comparison (paper Sections 1.1-1.2) ==\n\n");
 
@@ -120,6 +121,7 @@ int main(int argc, char** argv) {
     Json json;
     json.obj_begin()
         .kv("driver", "tab_stm_comparison")
+        .kv("timebase", cli.str("timebase"))
         .kv("threads", threads)
         .kv("duration_ms", duration)
         .key("rows")
@@ -133,24 +135,17 @@ int main(int argc, char** argv) {
             .obj_end();
     };
 
-    {
-        tb::SharedCounterTimeBase tbase;
-        stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
+    // One LSA-RT row per --timebase spec; the first spec anchors the
+    // "time-based beats always-validate" shape check.
+    bool first_spec = true;
+    for (const auto& spec : tb_specs) {
+        stm::LsaAdapter a(tb::make(spec));
         const double hs = bench_hashset(a, threads, duration);
-        tb::SharedCounterTimeBase tbase2;
-        stm::LsaAdapter<tb::SharedCounterTimeBase> a2(tbase2);
+        stm::LsaAdapter a2(tb::make(spec));
         const double au = bench_audit(a2, threads, duration, conserved);
-        lsa_audit = au;
-        emit("LSA-RT/SharedCounter", hs, au);
-    }
-    {
-        tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
-        stm::LsaAdapter<tb::PerfectClockTimeBase> a(tbase);
-        const double hs = bench_hashset(a, threads, duration);
-        tb::PerfectClockTimeBase tbase2(tb::PerfectSource::Auto);
-        stm::LsaAdapter<tb::PerfectClockTimeBase> a2(tbase2);
-        const double au = bench_audit(a2, threads, duration, conserved);
-        emit("LSA-RT/HardwareClock", hs, au);
+        if (first_spec) lsa_audit = au;
+        first_spec = false;
+        emit(("LSA-RT/" + spec).c_str(), hs, au);
     }
     {
         stm::Tl2Adapter a;

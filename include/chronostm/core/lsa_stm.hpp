@@ -1,7 +1,9 @@
-// LSA-STM core: the Lazy Snapshot Algorithm engine, templated on the time
-// base (the paper's central claim is that the time base is a replaceable
-// component; everything time-related below goes through TB::ThreadClock and
-// TB::deviation()).
+// LSA-STM core: the Lazy Snapshot Algorithm engine over the runtime-
+// pluggable time-base facade (the paper's central claim is that the time
+// base is a replaceable component; everything time-related below goes
+// through tb::ThreadClock and tb::TimeBase::deviation(), so engines,
+// workloads, and drivers select the base at runtime -- by object or by
+// registry key -- instead of instantiating the whole core per base).
 //
 // Design, following the paper:
 //  * Each TVar carries a versioned lock word ("orec"). Unlocked it holds
@@ -73,6 +75,7 @@
 #include <type_traits>
 #include <vector>
 
+#include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/pause.hpp>
 
 namespace chronostm {
@@ -193,7 +196,6 @@ enum TxStatus : int {
     kTxKilled,     // a contention manager aborted this attempt
 };
 
-template <typename TB>
 class TVarBase;
 
 // Type-erased write record: lives in the owning context's arena, applied
@@ -201,9 +203,8 @@ class TVarBase;
 // is a plain function pointer -- no vtable, no virtual destructor -- so
 // records are trivially destructible and the arena can recycle them by
 // rewinding a pointer.
-template <typename TB>
 struct CommitRec {
-    TVarBase<TB>* var = nullptr;
+    TVarBase* var = nullptr;
     std::uint64_t locked_word = 0;  // unlocked word this lock replaced
     void (*apply_fn)(CommitRec*, std::uint64_t new_ts, std::uint64_t old_ts,
                      unsigned keep_old) = nullptr;
@@ -411,11 +412,10 @@ class PtrIndex {
 // generation bump (u32; a wrap triggers one hard reset every 4G
 // transactions), and capacity persists, so the steady state never
 // allocates or memsets.
-template <typename TB>
 class ReadSet {
  public:
     struct Entry {
-        TVarBase<TB>* var;
+        TVarBase* var;
         std::uint64_t word;  // unlocked lock word observed at read time
         std::uint32_t gen;   // live iff gen == ReadSet::gen_
     };
@@ -440,7 +440,7 @@ class ReadSet {
 
     // Probes for `var`: its live entry, or nullptr with the landing slot
     // staged for commit_stage (valid until the next probe or clear).
-    Entry* find_or_stage(TVarBase<TB>* var) {
+    Entry* find_or_stage(TVarBase* var) {
         if (__builtin_expect((size_ + 1) * 4 > cap_ * 3, 0)) grow();
         std::size_t i = slot_of(var);
         for (;;) {
@@ -455,7 +455,7 @@ class ReadSet {
     }
 
     // Inserts at the slot the last find_or_stage miss landed on.
-    void commit_stage(TVarBase<TB>* var, std::uint64_t word) {
+    void commit_stage(TVarBase* var, std::uint64_t word) {
         Entry& e = entries_[stage_];
         e.var = var;
         e.word = word;
@@ -536,10 +536,9 @@ class ReadSet {
 // every attempt of every transaction it runs: tables keep their capacity,
 // the arena keeps its chunks. This is what makes the steady-state hot path
 // allocation-free.
-template <typename TB>
 struct AccessSets {
-    ReadSet<TB> reads;
-    FlatVec<CommitRec<TB>*> writes;  // records live in `arena`
+    ReadSet reads;
+    FlatVec<CommitRec*> writes;  // records live in `arena`
     WriteArena arena;
     PtrIndex write_index;  // TVar* -> index into `writes` (pre-sort only)
 
@@ -557,7 +556,6 @@ struct AccessSets {
 // arrays only ever grow (retired arrays are kept until the descriptor
 // dies), so a stale helper can always dereference what it loaded and its
 // claim CAS is guaranteed to fail.
-template <typename TB>
 struct TxDesc {
     std::atomic<int> status{kTxIdle};
     std::atomic<std::uint64_t> seq{0};
@@ -569,7 +567,7 @@ struct TxDesc {
 
     struct Slot {
         std::atomic<std::uint64_t> claim{0};  // 2*seq armed, 2*seq+1 taken
-        std::atomic<CommitRec<TB>*> rec{nullptr};
+        std::atomic<CommitRec*> rec{nullptr};
     };
     // Capacity travels with the array: a helper that pairs a stale array
     // with a newer (larger) n_slots clamps to the array's own capacity
@@ -603,8 +601,7 @@ struct TxDesc {
 // with the descriptor's sequence number, so helping a descriptor that has
 // since been reused degrades to a no-op (every CAS fails). Returns true if
 // this call applied at least one write record.
-template <typename TB>
-inline bool help_apply(TxDesc<TB>* d, StatsBlock* stats) {
+inline bool help_apply(TxDesc* d, StatsBlock* stats) {
     if (d->status.load(std::memory_order_acquire) != kTxCommitted)
         return false;
     const std::uint64_t q = d->seq.load(std::memory_order_acquire);
@@ -655,13 +652,10 @@ inline bool help_apply(TxDesc<TB>* d, StatsBlock* stats) {
 
 }  // namespace detail
 
-template <typename TB>
 class Transaction;
-template <typename TB>
 class ThreadContext;
-template <typename TB>
 class LsaStm;
-template <typename T, typename TB>
+template <typename T>
 class TVar;
 
 namespace detail {
@@ -671,7 +665,6 @@ namespace detail {
 // (version_ts << 1) unlocked, (TxDesc* | 1) locked. Not polymorphic -- a
 // vtable pointer would widen every TVar for nothing; nobody owns TVars
 // through this base.
-template <typename TB>
 class TVarBase {
  public:
     TVarBase() = default;
@@ -681,17 +674,16 @@ class TVarBase {
  protected:
     ~TVarBase() = default;
 
-    friend class chronostm::Transaction<TB>;
+    friend class chronostm::Transaction;
     std::atomic<std::uint64_t> vlock_{0};
 };
 
 }  // namespace detail
 
-template <typename TB>
-using TVarBase = detail::TVarBase<TB>;
+using TVarBase = detail::TVarBase;
 
-template <typename T, typename TB>
-class TVar : public TVarBase<TB> {
+template <typename T>
+class TVar : public TVarBase {
     static_assert(std::is_trivially_copyable_v<T>,
                   "TVar<T> requires a trivially copyable T: values are read "
                   "optimistically under a seqlock");
@@ -701,15 +693,16 @@ class TVar : public TVarBase<TB> {
 
     ~TVar() { delete hist_.load(std::memory_order_acquire); }
 
-    T get(Transaction<TB>& tx) { return tx.read(*this); }
-    void set(Transaction<TB>& tx, T v) { tx.write(*this, std::move(v)); }
+    // Defined after Transaction (which they call into).
+    T get(Transaction& tx);
+    void set(Transaction& tx, T v);
 
     // Non-transactional read for post-run invariant checks (quiesced state
     // only: racy by construction while transactions run).
     T unsafe_peek() const { return value_.load(std::memory_order_acquire); }
 
  private:
-    friend class Transaction<TB>;
+    friend class Transaction;
 
     // Old versions live in a ring written only while the lock bit is held;
     // readers snapshot entries and recheck vlock_ to detect slot reuse.
@@ -772,10 +765,9 @@ class TVar : public TVarBase<TB> {
     std::atomic<History*> hist_{nullptr};
 };
 
-template <typename TB>
 class Transaction {
  public:
-    using Clock = typename TB::ThreadClock;
+    using Clock = tb::ThreadClock;
 
     Transaction(const Transaction&) = delete;
     Transaction& operator=(const Transaction&) = delete;
@@ -792,25 +784,25 @@ class Transaction {
     std::size_t write_set_size() const { return sets_->writes.size(); }
 
  private:
-    friend class ThreadContext<TB>;
-    template <typename T, typename TB2>
-    friend class TVar;
+    friend class ThreadContext;
+    template <typename T2>
+    friend class chronostm::TVar;
 
     template <typename T>
-    struct WriteRec : detail::CommitRec<TB> {
+    struct WriteRec : detail::CommitRec {
         T value;
-        static void do_apply(detail::CommitRec<TB>* rec,
+        static void do_apply(detail::CommitRec* rec,
                              std::uint64_t new_ts, std::uint64_t old_ts,
                              unsigned keep_old) {
             auto* self = static_cast<WriteRec*>(rec);
-            static_cast<TVar<T, TB>*>(self->var)->commit_write(
+            static_cast<TVar<T>*>(self->var)->commit_write(
                 self->value, new_ts, old_ts, keep_old);
         }
     };
 
     Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
                 std::uint64_t dev, detail::StatsBlock* stats,
-                detail::TxDesc<TB>* desc, detail::AccessSets<TB>* sets)
+                detail::TxDesc* desc, detail::AccessSets* sets)
         : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
           desc_(desc), sets_(sets) {
         sets_->reset();
@@ -823,15 +815,15 @@ class Transaction {
         return reinterpret_cast<std::uintptr_t>(desc_) | 1u;
     }
 
-    static detail::TxDesc<TB>* decode_owner(std::uint64_t locked_word) {
-        return reinterpret_cast<detail::TxDesc<TB>*>(
+    static detail::TxDesc* decode_owner(std::uint64_t locked_word) {
+        return reinterpret_cast<detail::TxDesc*>(
             static_cast<std::uintptr_t>(locked_word & ~std::uint64_t{1}));
     }
 
     // Cooperative kill: only attempts that have not reached Committed can
     // die. A stale kill (the descriptor moved on to a later attempt) costs
     // that attempt a spurious abort, never correctness.
-    static void try_kill(detail::TxDesc<TB>* d) {
+    static void try_kill(detail::TxDesc* d) {
         int s = d->status.load(std::memory_order_acquire);
         if (s == detail::kTxLocking || s == detail::kTxNeedTs)
             d->status.compare_exchange_strong(s, detail::kTxKilled,
@@ -842,7 +834,7 @@ class Transaction {
     // Block on a foreign lock until it clears, helping and arbitrating per
     // the contention manager; returns the (unlocked) current word. Throws
     // AbortTx when the manager decides this transaction should yield.
-    std::uint64_t wait_on_foreign_lock(TVarBase<TB>* var) {
+    std::uint64_t wait_on_foreign_lock(TVarBase* var) {
         std::uint64_t spins = 0;
         const std::uint64_t budget =
             cm_ == CmPolicy::kAggressive
@@ -888,7 +880,7 @@ class Transaction {
     }
 
     template <typename T>
-    T read(TVar<T, TB>& var) {
+    T read(TVar<T>& var) {
         if (auto* rec = find_write(&var))
             return static_cast<WriteRec<T>*>(rec)->value;
 
@@ -944,7 +936,7 @@ class Transaction {
     }
 
     template <typename T>
-    void write(TVar<T, TB>& var, T v) {
+    void write(TVar<T>& var, T v) {
         if (auto* rec = find_write(&var)) {
             // Write-after-write: overwrite in place, the set stays minimal.
             static_cast<WriteRec<T>*>(rec)->value = std::move(v);
@@ -980,7 +972,7 @@ class Transaction {
         nu = std::min(nu, upper_cap_);
         if (nu <= upper_) return false;
         const bool intact = sets_->reads.all_of(
-            [](const typename detail::ReadSet<TB>::Entry& e) {
+            [](const detail::ReadSet::Entry& e) {
                 return e.var->vlock_.load(std::memory_order_acquire) ==
                        e.word;
             });
@@ -992,7 +984,7 @@ class Transaction {
     // Search the version history of `var` for a version covering the
     // snapshot; `w1` is the unlocked lock word the caller just observed.
     template <typename T>
-    bool read_old_version(TVar<T, TB>& var, std::uint64_t w1, T& out) {
+    bool read_old_version(TVar<T>& var, std::uint64_t w1, T& out) {
         const auto* h = var.hist_.load(std::memory_order_acquire);
         if (h == nullptr) return false;  // never kept history
         const unsigned n = h->size.load(std::memory_order_acquire);
@@ -1031,7 +1023,7 @@ class Transaction {
     // path and the write path. Positions in write_index are only valid
     // before commit() sorts the write set -- commit-time validation uses
     // find_write_sorted instead.
-    detail::CommitRec<TB>* find_write(TVarBase<TB>* var) {
+    detail::CommitRec* find_write(TVarBase* var) {
         auto& ws = sets_->writes;
         if (ws.size() <= detail::kInlineScan) {
             for (auto* rec : ws)
@@ -1045,11 +1037,11 @@ class Transaction {
     // Write-set lookup once commit() has address-sorted the set: binary
     // search on the sorted order (the execution-time index holds stale
     // positions past the sort and would cost a rebuild).
-    detail::CommitRec<TB>* find_write_sorted(TVarBase<TB>* var) {
+    detail::CommitRec* find_write_sorted(TVarBase* var) {
         auto& ws = sets_->writes;
         auto* it = std::lower_bound(
             ws.begin(), ws.end(), var,
-            [](const detail::CommitRec<TB>* rec, const TVarBase<TB>* v) {
+            [](const detail::CommitRec* rec, const TVarBase* v) {
                 return rec->var < v;
             });
         return it != ws.end() && (*it)->var == var ? *it : nullptr;
@@ -1069,8 +1061,8 @@ class Transaction {
 
         if (!writes_sorted_) {
             std::sort(writes.begin(), writes.end(),
-                      [](const detail::CommitRec<TB>* a,
-                         const detail::CommitRec<TB>* b) {
+                      [](const detail::CommitRec* a,
+                         const detail::CommitRec* b) {
                           return a->var < b->var;
                       });
             writes_sorted_ = true;
@@ -1121,7 +1113,7 @@ class Transaction {
         const std::uint64_t commit_ts = clk_.get_new_ts();
 
         const bool reads_valid = sets_->reads.all_of(
-            [this](const typename detail::ReadSet<TB>::Entry& e) {
+            [this](const detail::ReadSet::Entry& e) {
                 const std::uint64_t cur =
                     e.var->vlock_.load(std::memory_order_acquire);
                 if (cur == e.word) return true;
@@ -1215,8 +1207,8 @@ class Transaction {
     CmPolicy cm_;
     std::uint64_t dev_;
     detail::StatsBlock* stats_;
-    detail::TxDesc<TB>* desc_;
-    detail::AccessSets<TB>* sets_;
+    detail::TxDesc* desc_;
+    detail::AccessSets* sets_;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     std::uint64_t upper_cap_ = 0;
@@ -1225,24 +1217,32 @@ class Transaction {
     bool writes_sorted_ = false;
 };
 
+template <typename T>
+inline T TVar<T>::get(Transaction& tx) {
+    return tx.read(*this);
+}
+template <typename T>
+inline void TVar<T>::set(Transaction& tx, T v) {
+    tx.write(*this, std::move(v));
+}
+
 // Per-thread handle: owns a thread clock, a stats block, a commit
 // descriptor registered with the parent LsaStm, and the pooled access-set
 // storage every transaction attempt reuses. Movable; not thread-safe (one
 // context per thread, one live transaction per context).
-template <typename TB>
 class ThreadContext {
  public:
-    using Clock = typename TB::ThreadClock;
+    using Clock = tb::ThreadClock;
 
     // Runs `f` as a transaction until it commits, with bounded retry and
-    // exponential backoff. `f` takes Transaction<TB>& and may return a
+    // exponential backoff. `f` takes Transaction& and may return a
     // value, which run() passes through from the committed attempt.
     template <typename F>
     auto run(F&& f) {
-        using R = std::invoke_result_t<F&, Transaction<TB>&>;
+        using R = std::invoke_result_t<F&, Transaction&>;
         for (unsigned attempt = 0;; ++attempt) {
             try {
-                Transaction<TB> tx = txn_begin();
+                Transaction tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
                     f(tx);
                     if (txn_commit(tx)) return;
@@ -1273,12 +1273,12 @@ class ThreadContext {
     // the preferred loop. The returned transaction is valid for one
     // attempt: reads/writes may throw detail::AbortTx, and txn_commit
     // reports success. Statistics are counted like run() does.
-    Transaction<TB> txn_begin() {
-        return Transaction<TB>(clk_, cfg_, cm_, dev_, stats_.get(),
+    Transaction txn_begin() {
+        return Transaction(clk_, cfg_, cm_, dev_, stats_.get(),
                                desc_.get(), &sets_);
     }
 
-    bool txn_commit(Transaction<TB>& tx) {
+    bool txn_commit(Transaction& tx) {
         if (tx.commit()) {
             stats_->commits.fetch_add(1, std::memory_order_relaxed);
             return true;
@@ -1296,12 +1296,12 @@ class ThreadContext {
     }
 
  private:
-    friend class LsaStm<TB>;
+    friend class LsaStm;
 
     ThreadContext(Clock clk, const StmConfig& cfg, CmPolicy cm,
                   std::uint64_t dev,
                   std::shared_ptr<detail::StatsBlock> stats,
-                  std::shared_ptr<detail::TxDesc<TB>> desc)
+                  std::shared_ptr<detail::TxDesc> desc)
         : clk_(std::move(clk)),
           cfg_(cfg),
           cm_(cm),
@@ -1314,15 +1314,16 @@ class ThreadContext {
     CmPolicy cm_;
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
-    std::shared_ptr<detail::TxDesc<TB>> desc_;
-    detail::AccessSets<TB> sets_;
+    std::shared_ptr<detail::TxDesc> desc_;
+    detail::AccessSets sets_;
 };
 
-template <typename TB>
 class LsaStm {
  public:
-    explicit LsaStm(TB& tbase, StmConfig cfg = StmConfig{})
-        : tbase_(tbase),
+    // The handle is held by value: registry-made bases stay alive through
+    // it, wrapped ones borrow (the concrete object must outlive the STM).
+    explicit LsaStm(tb::TimeBase tbase, StmConfig cfg = StmConfig{})
+        : tbase_(std::move(tbase)),
           cfg_(std::move(cfg)),
           cm_(parse_contention_manager(cfg_.contention_manager)) {
         if (cfg_.max_versions == 0) cfg_.max_versions = 1;
@@ -1331,9 +1332,9 @@ class LsaStm {
     LsaStm(const LsaStm&) = delete;
     LsaStm& operator=(const LsaStm&) = delete;
 
-    ThreadContext<TB> make_context() {
+    ThreadContext make_context() {
         auto block = std::make_shared<detail::StatsBlock>();
-        auto desc = std::make_shared<detail::TxDesc<TB>>();
+        auto desc = std::make_shared<detail::TxDesc>();
         {
             std::lock_guard<std::mutex> g(mu_);
             blocks_.push_back(block);
@@ -1346,7 +1347,7 @@ class LsaStm {
         // the core compares stamps from two different clocks, so the
         // pairwise uncertainty -- and the validity-range shrink -- is
         // twice that bound.
-        return ThreadContext<TB>(tbase_.make_thread_clock(), cfg_, cm_,
+        return ThreadContext(tbase_.make_thread_clock(), cfg_, cm_,
                                  2 * tbase_.deviation(), std::move(block),
                                  std::move(desc));
     }
@@ -1366,15 +1367,15 @@ class LsaStm {
 
     const StmConfig& config() const { return cfg_; }
     CmPolicy contention_policy() const { return cm_; }
-    TB& time_base() { return tbase_; }
+    tb::TimeBase& time_base() { return tbase_; }
 
  private:
-    TB& tbase_;
+    tb::TimeBase tbase_;
     StmConfig cfg_;
     CmPolicy cm_;
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
-    std::vector<std::shared_ptr<detail::TxDesc<TB>>> descs_;
+    std::vector<std::shared_ptr<detail::TxDesc>> descs_;
 };
 
 }  // namespace chronostm

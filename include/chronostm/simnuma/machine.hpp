@@ -43,8 +43,9 @@ namespace chronostm {
 namespace sim {
 
 enum class SimTimeBase {
-    SharedCounter,  // fetch&inc on one exclusively-owned cache line
-    LocalTimer,     // fixed-latency local MMTimer read
+    SharedCounter,   // fetch&inc on one exclusively-owned cache line
+    LocalTimer,      // fixed-latency local MMTimer read
+    ShardedCounter,  // per-clock-domain counter lines + lazy watermark line
 };
 
 struct MachineConfig {
@@ -53,6 +54,19 @@ struct MachineConfig {
     double duration_ms = 40.0;    // simulated measurement window
     std::uint64_t seed = 1;
     SimTimeBase time_base = SimTimeBase::SharedCounter;
+
+    // NUMA clock domains (ShardedCounter only): processors are assigned
+    // round-robin to `clock_domains` counter lines, so a commit's
+    // fetch&inc contends only within its domain and a remote transfer
+    // crosses only the domain's diameter (log2(P/D) hops instead of
+    // log2(P)). BEGIN reads the mostly-shared watermark line at local
+    // cost, and every `watermark_period`-th commit per processor pays one
+    // globally-arbitrated watermark publish (full-diameter transfer) --
+    // the simulator's analogue of sharded_counter.hpp's band K, scaled up
+    // because simulated transactions are ~2us against ~10ns draws on a
+    // real host.
+    unsigned clock_domains = 1;
+    unsigned watermark_period = 32;
 
     // Calibration knobs (see DESIGN.md). Defaults model an Altix-class
     // 16-way ccNUMA machine at the paper's constants: 20 MHz MMTimer with
@@ -93,6 +107,15 @@ inline double counter_remote_transfer_ns(const MachineConfig& cfg) {
            cfg.counter_remote_hop_ns * std::log2(std::max(1.0, p));
 }
 
+// Remote transfer cost for a line whose sharers span `span` processors:
+// directory round trip plus the hops of that sub-machine's diameter.
+inline double span_remote_transfer_ns(const MachineConfig& cfg,
+                                      unsigned span) {
+    return cfg.counter_remote_base_ns +
+           cfg.counter_remote_hop_ns *
+               std::log2(std::max(1.0, static_cast<double>(span)));
+}
+
 inline MachineResult simulate_machine(const MachineConfig& cfg) {
     const unsigned n = cfg.processors == 0 ? 1 : cfg.processors;
     const double horizon_ns = cfg.duration_ms * 1e6;
@@ -116,7 +139,89 @@ inline MachineResult simulate_machine(const MachineConfig& cfg) {
         return base * j;
     };
 
-    if (cfg.time_base == SimTimeBase::LocalTimer) {
+    if (cfg.time_base == SimTimeBase::ShardedCounter) {
+        // Per-domain counter lines + one watermark line, each an
+        // exclusively-owned FIFO-arbitrated line like the shared counter's.
+        // Serving the globally earliest outstanding request preserves
+        // per-line FIFO order (any other request to the same line arrived
+        // later), so the one event loop drives every line.
+        const unsigned d =
+            cfg.clock_domains == 0 ? 1 : std::min(cfg.clock_domains, n);
+        const unsigned wm_period =
+            cfg.watermark_period == 0 ? 1 : cfg.watermark_period;
+        const unsigned wm_line = d;  // lines [0, d): domains; [d]: watermark
+        struct Line {
+            double free_at = 0.0;
+            int owner = -1;
+        };
+        std::vector<Line> lines(d + 1);
+        // Domain population: round-robin assignment puts ceil(n/d)
+        // processors on the widest domain.
+        const unsigned span = (n + d - 1) / d;
+        const double domain_remote_ns = span_remote_transfer_ns(cfg, span);
+        const double wm_remote_ns = span_remote_transfer_ns(cfg, n);
+
+        enum class Op { Commit, WMark };
+        std::vector<double> req_at(n);
+        std::vector<Op> req_op(n, Op::Commit);
+        std::vector<unsigned> since_wm(n, 0);
+        std::vector<bool> done(n, false);
+        unsigned running = n;
+        for (unsigned p = 0; p < n; ++p) {
+            // BEGIN reads the read-shared watermark at local cost, then the
+            // transaction body runs; the first line request is the commit's
+            // fetch&inc on the processor's domain line.
+            req_at[p] = cfg.counter_local_ns + work_ns(p);
+        }
+
+        const auto finish_commit = [&](unsigned p, double end) {
+            const double commit_end = end + cfg.commit_fixed_ns;
+            if (commit_end <= horizon_ns) ++res.per_proc_commits[p];
+            res.proc_clock_ns[p] = commit_end;
+            if (commit_end > horizon_ns) {
+                done[p] = true;
+                --running;
+            } else {
+                req_at[p] = commit_end + cfg.counter_local_ns + work_ns(p);
+                req_op[p] = Op::Commit;
+            }
+        };
+
+        while (running > 0) {
+            unsigned p = n;
+            for (unsigned i = 0; i < n; ++i) {
+                if (done[i]) continue;
+                if (p == n || req_at[i] < req_at[p]) p = i;
+            }
+            const double arrival = req_at[p];
+            const unsigned l = req_op[p] == Op::WMark ? wm_line : p % d;
+            const bool local = lines[l].owner == static_cast<int>(p);
+            const double cost =
+                local ? cfg.counter_local_ns
+                      : (l == wm_line ? wm_remote_ns : domain_remote_ns);
+            const double start = std::max(arrival, lines[l].free_at);
+            const double end = start + cost;
+            if (start < arrival || end < start || end < lines[l].free_at)
+                res.clocks_monotone = false;
+            lines[l].free_at = end;
+            lines[l].owner = static_cast<int>(p);
+            res.line_busy_ns +=
+                std::max(0.0, std::min(end, horizon_ns) - start);
+            if (local)
+                ++res.line_local_hits;
+            else
+                ++res.line_remote_transfers;
+
+            if (req_op[p] == Op::Commit && ++since_wm[p] >= wm_period) {
+                since_wm[p] = 0;
+                req_at[p] = end;
+                req_op[p] = Op::WMark;
+            } else {
+                finish_commit(p, end);
+            }
+            if (res.proc_clock_ns[p] < 0) res.clocks_monotone = false;
+        }
+    } else if (cfg.time_base == SimTimeBase::LocalTimer) {
         // No shared state: processors simulate independently.
         for (unsigned p = 0; p < n; ++p) {
             double t = 0;

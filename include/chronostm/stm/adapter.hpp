@@ -22,9 +22,12 @@
 //   adapter.collected_stats();         // aggregate TxStats over contexts
 //
 // Engines behind the facade:
-//   * LsaAdapter<TB>   -- the paper's LSA-RT over any time base TB, with
-//                         multi-version history, commit helping, and
-//                         pluggable contention managers (StmConfig).
+//   * LsaAdapter       -- the paper's LSA-RT over any tb::TimeBase (the
+//                         runtime-pluggable time-base facade: pass a
+//                         wrapped object or a registry handle from
+//                         tb::make("batched:B=16")), with multi-version
+//                         history, commit helping, and pluggable
+//                         contention managers (StmConfig).
 //   * Tl2Adapter       -- single-version, global-version-clock TL2.
 //   * VstmAdapter      -- validation-based STM, +- commit-counter
 //                         heuristic (VstmConfig).
@@ -45,16 +48,16 @@ namespace stm {
 
 // LSA-RT behind the facade: thin shims over core/lsa_stm.hpp. The Txn
 // handle adapts the facade's tx.read(var) spelling to the core's
-// var.get(tx) one; everything else forwards.
-template <typename TB>
+// var.get(tx) one; everything else forwards. The time base arrives as a
+// tb::TimeBase handle, so one adapter type serves every base.
 class LsaAdapter {
  public:
     template <typename T>
-    using Var = TVar<T, TB>;
+    using Var = TVar<T>;
 
     class Txn {
      public:
-        explicit Txn(Transaction<TB>& tx) : tx_(tx) {}
+        explicit Txn(Transaction& tx) : tx_(tx) {}
 
         template <typename T>
         T read(Var<T>& var) {
@@ -68,52 +71,52 @@ class LsaAdapter {
 
         [[noreturn]] void abort() { tx_.abort(); }
 
-        Transaction<TB>& inner() { return tx_; }
+        Transaction& inner() { return tx_; }
 
      private:
-        Transaction<TB>& tx_;
+        Transaction& tx_;
     };
 
     class Context {
      public:
         TxStats stats() const { return inner_.stats(); }
-        ThreadContext<TB>& inner() { return inner_; }
+        ThreadContext& inner() { return inner_; }
 
      private:
         friend class LsaAdapter;
-        explicit Context(ThreadContext<TB> inner)
+        explicit Context(ThreadContext inner)
             : inner_(std::move(inner)) {}
-        ThreadContext<TB> inner_;
+        ThreadContext inner_;
     };
 
-    explicit LsaAdapter(TB& tbase, StmConfig cfg = StmConfig{})
-        : stm_(tbase, std::move(cfg)) {}
+    explicit LsaAdapter(tb::TimeBase tbase, StmConfig cfg = StmConfig{})
+        : stm_(std::move(tbase), std::move(cfg)) {}
     LsaAdapter(const LsaAdapter&) = delete;
     LsaAdapter& operator=(const LsaAdapter&) = delete;
 
     Context make_context() { return Context(stm_.make_context()); }
 
-    Transaction<TB> txn_begin(Context& ctx) {
+    Transaction txn_begin(Context& ctx) {
         return ctx.inner_.txn_begin();
     }
 
-    bool txn_commit(Context& ctx, Transaction<TB>& tx) {
+    bool txn_commit(Context& ctx, Transaction& tx) {
         return ctx.inner_.txn_commit(tx);
     }
 
     template <typename F>
     auto run(Context& ctx, F&& f) {
-        return ctx.inner_.run([&](Transaction<TB>& tx) {
+        return ctx.inner_.run([&](Transaction& tx) {
             Txn handle(tx);
             return f(handle);
         });
     }
 
-    LsaStm<TB>& stm() { return stm_; }
+    LsaStm& stm() { return stm_; }
     TxStats collected_stats() const { return stm_.collected_stats(); }
 
  private:
-    LsaStm<TB> stm_;
+    LsaStm stm_;
 };
 
 }  // namespace stm

@@ -1,0 +1,232 @@
+// Runtime-adaptive time base: starts on an exact-ish shared counter and
+// escalates to batched blocks and then to a sharded multi-line counter
+// when a sampled get_new_ts latency threshold trips -- the ROADMAP's
+// "adaptive time-base selection at runtime", motivated by the competitive-
+// analysis observation that the best mechanism is workload-dependent
+// (PAPERS.md: Sharma & Busch): a single shared line is unbeatable at low
+// commit rates, batching wins once the line's RMW rate saturates it, and
+// sharding wins once even block draws contend.
+//
+// Escalation ladder (one-way, mode_ is the epoch):
+//   kSingle  -- every clock draws fetch_add(1) on shard 0
+//   kBatched -- every clock draws blocks of B from shard 0
+//   kSharded -- every clock draws fetch_add(1) on its own shard
+//
+// THE SWITCH PROTOCOL, and why monotonicity, uniqueness, and the deviation
+// bound survive it (the correctness-interesting part):
+//
+//  * One stamp space for every mode. All three modes draw from the same
+//    shard array and emit stamp = v * S + shard; kSingle and kBatched are
+//    just "everyone on shard 0". A mode change never re-bases the stamp
+//    space, so there is no translation step to race with.
+//  * Uniqueness is structural, not fenced. Values are reserved by
+//    fetch_add on a shard (singly or in blocks) and tagged with the shard
+//    residue, so any interleaving of draws across a switch -- including a
+//    thread that loaded the old mode, was preempted for a second, and
+//    emits afterwards -- yields distinct stamps.
+//  * The deviation bound is enforced per emission, not per mode. Every
+//    emission (every mode) re-checks its value v against the CURRENT
+//    watermark W and discards-and-redraws unless v + L > W, where L is
+//    the fixed band. W is monotone, so a stamp emitted after a reader
+//    sampled u = W_sample * S satisfies v > W_now - L >= W_sample - L:
+//    the published bound holds across a switch with NO stop-the-world
+//    fence, because it never depended on which mode drew the stamp. A
+//    stale-mode straggler (at most one in-flight call per thread -- mode
+//    is reloaded on every call) passes the same check against the same W.
+//    This is also why deviation() is a constant: it must cover every mode
+//    the base may ever be in, since contexts cache the bound at creation
+//    and a bound that tightened after a switch-back could admit a version
+//    stamped under the looser regime.
+//  * Per-thread monotonicity is a per-clock floor. When a clock moves
+//    from shard 0 to its own shard, the new shard's counter may be far
+//    behind the values it emitted on shard 0; each clock therefore
+//    remembers its last emitted value and, on a draw at or below it,
+//    lifts the shard to that floor (CAS max) and redraws -- fetch_add
+//    then hands it something strictly larger. Uniqueness is unaffected
+//    (the redraw is a fresh reservation).
+//  * Abandoned block tails are dropped on the mode reload at the next
+//    call; they waste stamp space, never uniqueness or monotonicity, and
+//    the emission-time watermark check (not a shard-0 check) is what
+//    keeps a tail emission inside the bound even if shard 0 goes idle
+//    while other shards advance W.
+//
+// Published deviation: every emission -- block-local values included, the
+// watermark check runs once per call, not once per block -- lags W by
+// less than the band L, so the bound is ceil(S * (L + 1) / 2), the same
+// centered form sharded_counter publishes and independent of B.
+//
+// Triggering: every `sample_every`-th get_new_ts on a clock is timed with
+// the steady clock; `trips` consecutive samples over `threshold_ns`
+// escalate the mode one step (CAS, idempotent). A contended shared line
+// IS a slow draw, so the latency trigger subsumes a commit-rate one.
+// escalate() is public for tests and for drivers that know their phase.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include <chronostm/timebase/common.hpp>
+#include <chronostm/timebase/sharded_counter.hpp>
+
+namespace chronostm {
+namespace tb {
+
+class AdaptiveTimeBase {
+ public:
+    enum Mode : int { kSingle = 0, kBatched = 1, kSharded = 2 };
+
+    struct Params {
+        std::uint64_t shards = 4;        // S: shard lines in the final mode
+        std::uint64_t block = 8;         // B: block size in kBatched
+        std::uint64_t band = 4;          // L: watermark lag/publish band
+        std::uint64_t threshold_ns = 250;  // sampled-draw latency trigger
+        std::uint32_t sample_every = 64;   // draws between latency samples
+        std::uint32_t trips = 4;           // consecutive hot samples to trip
+    };
+
+    class ThreadClock {
+     public:
+        ThreadClock(AdaptiveTimeBase* base, std::uint64_t shard)
+            : base_(base), shard_(shard) {}
+
+        std::uint64_t get_time() const {
+            return base_->watermark_.load(std::memory_order_acquire) *
+                   base_->p_.shards;
+        }
+
+        std::uint64_t get_new_ts() {
+            const bool timed = base_->p_.threshold_ns > 0 &&
+                               ++since_sample_ >= base_->p_.sample_every;
+            if (!timed) return draw();
+            since_sample_ = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            const std::uint64_t ts = draw();
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            if (static_cast<std::uint64_t>(ns) > base_->p_.threshold_ns) {
+                if (++hot_streak_ >= base_->p_.trips) {
+                    hot_streak_ = 0;
+                    base_->escalate();
+                }
+            } else {
+                hot_streak_ = 0;
+            }
+            return ts;
+        }
+
+     private:
+        std::uint64_t draw() {
+            auto* b = base_;
+            const std::uint64_t S = b->p_.shards;
+            for (;;) {
+                // The mode is the epoch: reloaded on every call, so at most
+                // the current call can run under a stale mode -- and every
+                // emission below re-validates against the live watermark.
+                const int m = b->mode_.load(std::memory_order_acquire);
+                const std::uint64_t shard = m == kSharded ? shard_ : 0;
+                std::uint64_t v;
+                if (m == kBatched) {
+                    if (next_ == end_) {
+                        const std::uint64_t s =
+                            b->shards_[0].value.fetch_add(
+                                b->p_.block, std::memory_order_acq_rel);
+                        next_ = s + 1;
+                        end_ = s + b->p_.block + 1;
+                    }
+                    v = next_++;
+                } else {
+                    next_ = end_ = 0;  // drop any stale block tail
+                    v = b->shards_[shard].value.fetch_add(
+                            1, std::memory_order_acq_rel) +
+                        1;
+                }
+                // Per-clock floor: keeps this clock's stamps strictly
+                // increasing across shard moves (see header).
+                if (v <= last_v_) {
+                    next_ = end_ = 0;
+                    detail::fetch_max(b->shards_[shard].value, last_v_);
+                    continue;
+                }
+                const std::uint64_t w =
+                    b->watermark_.load(std::memory_order_acquire);
+                if (v > w + b->p_.band) {
+                    detail::fetch_max(b->watermark_, v);
+                } else if (v + b->p_.band <= w) {
+                    // Lagging: drop the block, lift the shard, redraw.
+                    next_ = end_ = 0;
+                    detail::fetch_max(b->shards_[shard].value, w);
+                    continue;
+                }
+                last_v_ = v;
+                return v * S + shard;
+            }
+        }
+
+        AdaptiveTimeBase* base_;
+        std::uint64_t shard_;
+        std::uint64_t next_ = 0;   // batched-mode block cursor
+        std::uint64_t end_ = 0;    // one past the block's last value
+        std::uint64_t last_v_ = 0;  // per-clock monotonicity floor
+        std::uint32_t since_sample_ = 0;
+        std::uint32_t hot_streak_ = 0;
+    };
+
+    AdaptiveTimeBase() : AdaptiveTimeBase(Params{}) {}
+    explicit AdaptiveTimeBase(Params p) : p_(sanitize(p)) {
+        shards_ = std::make_unique<detail::ShardLine[]>(p_.shards);
+    }
+    AdaptiveTimeBase(const AdaptiveTimeBase&) = delete;
+    AdaptiveTimeBase& operator=(const AdaptiveTimeBase&) = delete;
+
+    ThreadClock make_thread_clock() {
+        const auto n = next_clock_.fetch_add(1, std::memory_order_relaxed);
+        return ThreadClock(this, n % p_.shards);
+    }
+
+    // Constant across mode switches by design (see header): the per-call
+    // watermark check bounds every emission's lag below the band L in
+    // every mode, so the bound matches sharded_counter's form.
+    std::uint64_t deviation() const {
+        return (p_.shards * (p_.band + 1) + 1) / 2;
+    }
+
+    // One-way escalation; safe to call from any thread, idempotent at the
+    // top of the ladder.
+    void escalate() {
+        int m = mode_.load(std::memory_order_acquire);
+        while (m < kSharded &&
+               !mode_.compare_exchange_weak(m, m + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        }
+    }
+
+    Mode mode() const {
+        return static_cast<Mode>(mode_.load(std::memory_order_acquire));
+    }
+    const Params& params() const { return p_; }
+
+ private:
+    static Params sanitize(Params p) {
+        if (p.shards == 0) p.shards = 1;
+        if (p.block == 0) p.block = 1;
+        if (p.band == 0) p.band = 1;
+        if (p.sample_every == 0) p.sample_every = 1;
+        if (p.trips == 0) p.trips = 1;
+        return p;
+    }
+
+    friend class ThreadClock;
+    const Params p_;
+    std::unique_ptr<detail::ShardLine[]> shards_;
+    alignas(64) std::atomic<std::uint64_t> watermark_{0};
+    alignas(64) std::atomic<int> mode_{kSingle};
+    std::atomic<std::uint64_t> next_clock_{0};
+};
+
+}  // namespace tb
+}  // namespace chronostm

@@ -1,0 +1,167 @@
+// Sharded multi-cache-line counter: S independent shard lines plus one
+// mostly-read watermark line, so committers on different shards never touch
+// the same cache line -- the ROADMAP's "sharded (multi-line) counter"
+// scaling direction, built (like batched_counter) on the paper's
+// imprecise-time-base contract: stamps may deviate from true time by a
+// published bound; the STM shrinks validity ranges and loses only
+// freshness, never correctness.
+//
+// Layout:
+//  * shard s holds a private counter c[s] on its own cache line; a thread
+//    clock is bound to one shard (round-robin by clock id) and draws with
+//    fetch_add(1) there;
+//  * stamp = v * S + s for drawn value v -- residues keep stamps from
+//    different shards disjoint, and per-shard fetch_add keeps same-shard
+//    stamps distinct, so GLOBAL UNIQUENESS holds by construction with no
+//    cross-shard coordination;
+//  * the watermark W is a lower bound on global progress, published
+//    lazily: a drawer that finds its value v > W + K raises W to v (CAS
+//    max), and a drawer that finds v + K <= W first lifts its own shard to
+//    W and redraws. get_time() is one acquire load of W (scaled to stamp
+//    units) -- a mostly-read line that stays in shared state, unlike the
+//    exclusively-owned RMW line every committer fights over in the plain
+//    shared counter.
+//
+// Deviation bound (published like batched_counter's, derivation mirrors
+// its header comment):
+//  * Safety needs exactly this: a commit stamp emitted AFTER a reader
+//    sampled u = get_time() must exceed u - 2*deviation(), so the shrunk
+//    admission test (wv + 2*dev <= u) can never accept a version that was
+//    still uncommitted when the snapshot was taken. Every emission checks
+//    its drawn value v against the CURRENT watermark and redraws unless
+//    v + K > W -- and W is monotone -- so an emission after the reader's
+//    sample satisfies v > W_now - K >= W_sample - K, i.e. the stamp
+//    v*S + s > u - K*S - S. Centering the notional true time between the
+//    lagging stamps and get_time gives deviation() = ceil(S*(K+1)/2),
+//    and the core's pairwise 2x shrink (>= S*(K+1)) is exactly the bound
+//    the emission check enforces.
+//  * The leading side (a stamp ahead of W by up to K plus in-flight
+//    draws) never threatens safety: a too-new version simply fails
+//    admission and costs a freshness abort.
+//
+// What is given up vs the plain shared counter:
+//  * freshly committed data is unreadable until W advances ~S*(K+1) stamp
+//    units past it (at most ~K draws on the committing shard) -- the
+//    imprecision-vs-aborts trade, tunable via K;
+//  * stamps are not totally ordered against concurrent get_time()
+//    observations; per-thread monotonicity and global uniqueness are kept.
+//
+// Progress note: W only moves when stamps are drawn (a drawer exceeding
+// W + K raises it). The core's retry loop draws-and-discards a stamp on
+// repeated aborts, which advances the drawer's shard and, within K draws,
+// the watermark -- the same livelock defense batched_counter relies on.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include <chronostm/timebase/common.hpp>
+
+namespace chronostm {
+namespace tb {
+
+namespace detail {
+
+// One counter line per shard; the padding keeps neighbouring shards from
+// false-sharing regardless of the allocator's placement.
+struct alignas(64) ShardLine {
+    std::atomic<std::uint64_t> value{0};
+};
+
+// Raise `a` to at least `floor` (atomic max via CAS; no-op when already
+// past it). Used for shard catch-up and watermark publication.
+inline void fetch_max(std::atomic<std::uint64_t>& a, std::uint64_t floor) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < floor &&
+           !a.compare_exchange_weak(cur, floor, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace detail
+
+class ShardedCounterTimeBase {
+ public:
+    class ThreadClock {
+     public:
+        ThreadClock(detail::ShardLine* shards, std::atomic<std::uint64_t>* wm,
+                    std::uint64_t shard, std::uint64_t nshards,
+                    std::uint64_t band)
+            : shards_(shards),
+              wm_(wm),
+              shard_(shard),
+              nshards_(nshards),
+              band_(band) {}
+
+        std::uint64_t get_time() const {
+            return wm_->load(std::memory_order_acquire) * nshards_;
+        }
+
+        std::uint64_t get_new_ts() {
+            auto& c = shards_[shard_].value;
+            for (;;) {
+                const std::uint64_t v =
+                    c.fetch_add(1, std::memory_order_acq_rel) + 1;
+                const std::uint64_t w = wm_->load(std::memory_order_acquire);
+                if (v > w + band_) {
+                    // Leading: publish progress so readers see time move.
+                    detail::fetch_max(*wm_, v);
+                } else if (v + band_ <= w) {
+                    // Lagging past the band: lift the shard to the
+                    // watermark and redraw. The emission check against the
+                    // CURRENT W is what makes deviation() a real bound.
+                    detail::fetch_max(c, w);
+                    continue;
+                }
+                return v * nshards_ + shard_;
+            }
+        }
+
+     private:
+        detail::ShardLine* shards_;
+        std::atomic<std::uint64_t>* wm_;
+        std::uint64_t shard_;
+        std::uint64_t nshards_;
+        std::uint64_t band_;
+    };
+
+    // Band default of 4 keeps the freshness horizon (~2*deviation stamp
+    // units, i.e. K + ceil((K+1)/1) shard draws) close to batched:B=8's
+    // while still cutting watermark-line RMWs to ~1/K per draw; raise K
+    // for less watermark traffic, lower it for fresher reads.
+    explicit ShardedCounterTimeBase(std::uint64_t shards = 4,
+                                    std::uint64_t band = 4)
+        : nshards_(shards == 0 ? 1 : shards),
+          band_(band == 0 ? 1 : band),
+          shards_(std::make_unique<detail::ShardLine[]>(nshards_)) {}
+    ShardedCounterTimeBase(const ShardedCounterTimeBase&) = delete;
+    ShardedCounterTimeBase& operator=(const ShardedCounterTimeBase&) = delete;
+
+    ThreadClock make_thread_clock() {
+        const auto n = next_.fetch_add(1, std::memory_order_relaxed);
+        return ThreadClock(shards_.get(), &watermark_, n % nshards_, nshards_,
+                           band_);
+    }
+
+    // Centered bound over the emission check's one-sided lag of < K*S + S
+    // stamp units (see the derivation in the header comment). S=1, K=1
+    // degenerates to a near-exact counter and publishes the honest 1.
+    std::uint64_t deviation() const {
+        return (nshards_ * (band_ + 1) + 1) / 2;
+    }
+
+    std::uint64_t shard_count() const { return nshards_; }
+    std::uint64_t band() const { return band_; }
+
+ private:
+    const std::uint64_t nshards_;
+    const std::uint64_t band_;
+    std::unique_ptr<detail::ShardLine[]> shards_;
+    alignas(64) std::atomic<std::uint64_t> watermark_{0};
+    alignas(64) std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace tb
+}  // namespace chronostm

@@ -29,6 +29,9 @@ class SharedCounterTimeBase {
             return counter_->fetch_add(1, std::memory_order_acq_rel) + 1;
         }
 
+        // The facade's inline cache pins the counter line directly.
+        std::atomic<std::uint64_t>* counter() const { return counter_; }
+
      private:
         std::atomic<std::uint64_t>* counter_;
     };

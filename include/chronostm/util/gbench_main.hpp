@@ -1,7 +1,9 @@
 // Shared main() for the google-benchmark drivers so they speak the same
-// --json=<path> dialect as the table drivers: the flag is rewritten into
-// google-benchmark's --benchmark_out=<path> --benchmark_out_format=json
-// before Initialize sees the command line. Everything else passes through
+// --json=<path> and --timebase=<spec> dialect as the table drivers: --json
+// is rewritten into google-benchmark's --benchmark_out=<path>
+// --benchmark_out_format=json and --timebase (consumed separately via
+// extract_timebase_flag, before RegisterBenchmark) is dropped before
+// Initialize sees the command line. Everything else passes through
 // untouched.
 
 #pragma once
@@ -12,6 +14,19 @@
 #include <vector>
 
 namespace chronostm {
+
+// Reads the uniform --timebase flag without mutating argv; the driver
+// resolves the value through the tb registry when registering dynamic
+// rows. gbench_main_with_json drops the flag before google-benchmark
+// parses the rest.
+inline std::string extract_timebase_flag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--timebase=", 0) == 0) return a.substr(11);
+        if (a == "--timebase" && i + 1 < argc) return argv[i + 1];
+    }
+    return std::string();
+}
 
 inline int gbench_main_with_json(int argc, char** argv) {
     std::vector<std::string> args;
@@ -24,6 +39,10 @@ inline int gbench_main_with_json(int argc, char** argv) {
             json_path = a.substr(7);
         } else if (a == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (a.rfind("--timebase=", 0) == 0) {
+            // consumed by extract_timebase_flag
+        } else if (a == "--timebase" && i + 1 < argc) {
+            ++i;
         } else {
             args.push_back(a);
         }

@@ -6,21 +6,54 @@
 //
 // Driver-facing flags all map onto RunSpec: --threads -> RunSpec::threads,
 // --duration-ms -> RunSpec::duration_ms (warmup defaults to a fifth of the
-// measured window in every driver).
+// measured window in every driver). Time-base selection is uniform across
+// drivers: flag_timebase declares --timebase=, validate_timebase_flag
+// fails loudly on typos right after parse, and each measurement cell then
+// calls tb::make(spec) itself so every cell starts from a FRESH base with
+// zeroed counters.
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/affinity.hpp>
+#include <chronostm/util/cli.hpp>
 
 namespace chronostm {
 namespace wl {
+
+// Declares the uniform --timebase flag with a driver-appropriate default
+// (single spec for single-base drivers, comma-separated list for series
+// drivers).
+inline Cli& flag_timebase(Cli& cli, const std::string& def) {
+    return cli.flag_str("timebase", def, tb::spec_help());
+}
+
+// Resolve-and-discard for use INSIDE the driver's parse try/catch: a typo
+// in --timebase then exits 2 with the registry's one-line message instead
+// of terminating mid-run on an uncaught exception.
+inline void validate_timebase_flag(const Cli& cli) {
+    for (const auto& spec : tb::split_specs(cli.str("timebase")))
+        tb::make(spec);
+}
+
+// Index of the first spec whose base NAME matches, or -1: drivers anchor
+// base-specific shape checks ("does the sweep include shared?") on this.
+inline long find_timebase_spec(const std::vector<std::string>& specs,
+                               const char* name) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        if (tb::parse_spec(specs[i]).name == name)
+            return static_cast<long>(i);
+    return -1;
+}
+
 
 struct RunSpec {
     unsigned threads = 1;

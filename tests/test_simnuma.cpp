@@ -2,7 +2,10 @@
 // simulation must be deterministic per seed, its event clocks must be
 // physically sane, and it must reproduce the Figure-2 cost structure --
 // shared-counter throughput saturates and never recovers past the
-// saturation point, while the local-timer curve is monotone in P.
+// saturation point, while the local-timer curve is monotone in P. The
+// sharded-counter clock-domain model must additionally push its
+// saturation point right as domains are added (the property fig2_sim's
+// --domains sweep gates in CI).
 
 #include <cstdio>
 #include <vector>
@@ -36,7 +39,8 @@ std::vector<sim::MachineResult> run_sweep(sim::SimTimeBase tb,
 
 void check_determinism() {
     for (const auto tb :
-         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer}) {
+         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer,
+          sim::SimTimeBase::ShardedCounter}) {
         const auto a = run_sweep(tb, 7);
         const auto b = run_sweep(tb, 7);
         CHECK(a.size() == b.size());
@@ -61,7 +65,8 @@ void check_determinism() {
 
 void check_event_clocks() {
     for (const auto tb :
-         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer}) {
+         {sim::SimTimeBase::SharedCounter, sim::SimTimeBase::LocalTimer,
+          sim::SimTimeBase::ShardedCounter}) {
         for (const unsigned p : {1u, 3u, 16u}) {
             const auto cfg = base_config(p, tb, 3);
             const auto res = sim::simulate_machine(cfg);
@@ -126,12 +131,53 @@ void check_figure2_shape() {
     }
 }
 
+// Clock domains: per-domain counter lines split the commit load and
+// shrink the transfer diameter, so adding domains never hurts at machine
+// scale and the saturation point moves right monotonically.
+void check_clock_domains() {
+    const std::vector<unsigned> procs = {1u, 2u, 4u, 8u, 16u};
+    std::vector<std::size_t> peaks;
+    std::vector<double> at16;
+    for (const unsigned d : {1u, 2u, 4u, 8u}) {
+        std::vector<double> series;
+        for (const unsigned p : procs) {
+            auto cfg = base_config(p, sim::SimTimeBase::ShardedCounter, 5);
+            cfg.clock_domains = d;
+            const auto r = sim::simulate_machine(cfg);
+            CHECK(r.clocks_monotone);
+            series.push_back(r.mtx_per_sec);
+        }
+        std::size_t peak = 0;
+        for (std::size_t i = 1; i < series.size(); ++i)
+            if (series[i] > series[peak]) peak = i;
+        peaks.push_back(peak);
+        at16.push_back(series.back());
+    }
+    for (std::size_t i = 1; i < peaks.size(); ++i) {
+        CHECK_MSG(peaks[i] >= peaks[i - 1],
+                  "saturation moved left: D index %zu peak %zu -> %zu", i,
+                  peaks[i - 1], peaks[i]);
+        CHECK_MSG(at16[i] >= at16[i - 1] * 0.999,
+                  "more domains lost throughput at 16P: %.3f -> %.3f",
+                  at16[i - 1], at16[i]);
+    }
+    CHECK(peaks.back() > peaks.front());
+    // One domain serves every processor through one line: a single
+    // processor pays at most the initial cold transfer.
+    auto cfg = base_config(1, sim::SimTimeBase::ShardedCounter, 5);
+    cfg.clock_domains = 4;  // clamped to 1 processor internally
+    const auto r = sim::simulate_machine(cfg);
+    CHECK(r.line_remote_transfers <= 2);  // domain line + watermark line
+    CHECK(r.committed_txns > 0);
+}
+
 }  // namespace
 
 int main() {
     check_determinism();
     check_event_clocks();
     check_figure2_shape();
+    check_clock_domains();
     std::printf("test_simnuma: OK\n");
     return 0;
 }

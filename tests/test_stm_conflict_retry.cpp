@@ -8,7 +8,6 @@
 #include <thread>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 
 #include "test_util.hpp"
 
@@ -16,8 +15,7 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 void spin_until(const std::atomic<bool>& flag) {
     while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
@@ -26,9 +24,8 @@ void spin_until(const std::atomic<bool>& flag) {
 }  // namespace
 
 int main() {
-    TB tbase;
-    LsaStm<TB> stm(tbase);
-    TVar<long, TB> v(0);
+    LsaStm stm(tb::make("shared"));
+    TVar<long> v(0);
 
     std::atomic<bool> t1_read_done{false};
     std::atomic<bool> t2_committed{false};
@@ -68,11 +65,10 @@ int main() {
     // The bounded-retry knob: a transaction that can never commit within
     // the bound surfaces as an error instead of spinning forever.
     {
-        tb::SharedCounterTimeBase tb2;
         StmConfig cfg;
         cfg.max_retries = 3;
-        LsaStm<TB> stm2(tb2, cfg);
-        TVar<long, TB> w(0);
+        LsaStm stm2(tb::make("shared"), cfg);
+        TVar<long> w(0);
         auto c2 = stm2.make_context();
         bool threw = false;
         try {

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/rng.hpp>
 
 #include "test_util.hpp"
@@ -20,8 +19,7 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 constexpr unsigned kThreads = 4;
 constexpr int kAccounts = 8;  // tiny on purpose: every txn conflicts
@@ -29,13 +27,12 @@ constexpr long kInitial = 100;
 constexpr int kTransfersPerThread = 800;
 
 void check_policy(const char* policy) {
-    TB tbase;
     StmConfig cfg;
     cfg.contention_manager = policy;
-    LsaStm<TB> stm(tbase, cfg);
-    std::vector<std::unique_ptr<TVar<long, TB>>> acct;
+    LsaStm stm(tb::make("shared"), cfg);
+    std::vector<std::unique_ptr<TVar<long>>> acct;
     for (int i = 0; i < kAccounts; ++i)
-        acct.push_back(std::make_unique<TVar<long, TB>>(kInitial));
+        acct.push_back(std::make_unique<TVar<long>>(kInitial));
 
     std::vector<std::thread> threads;
     for (unsigned t = 0; t < kThreads; ++t) {
@@ -76,10 +73,25 @@ int main() {
 
     bool threw = false;
     try {
-        TB tbase;
         StmConfig cfg;
         cfg.contention_manager = "no-such-policy";
-        LsaStm<TB> stm(tbase, cfg);
+        LsaStm stm(tb::make("shared"), cfg);
+    } catch (const std::invalid_argument&) {
+        threw = true;
+    }
+    CHECK(threw);
+
+    // The registry fails just as loudly on unknown base names and keys.
+    threw = false;
+    try {
+        tb::make("no-such-base");
+    } catch (const std::invalid_argument&) {
+        threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    try {
+        tb::make("batched:Q=7");
     } catch (const std::invalid_argument&) {
         threw = true;
     }

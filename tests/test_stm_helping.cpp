@@ -15,7 +15,6 @@
 #include <thread>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 
 #include "test_util.hpp"
 
@@ -23,8 +22,7 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 void spin_until(const std::atomic<bool>& flag) {
     while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
@@ -41,7 +39,6 @@ struct Outcome {
 };
 
 Outcome run_schedule(bool help) {
-    TB tbase;
     std::atomic<bool> stall_armed{true};
     std::atomic<bool> a_stalled{false};
     std::atomic<bool> release_a{false};
@@ -55,8 +52,8 @@ Outcome run_schedule(bool help) {
             spin_until(release_a);
         }
     };
-    LsaStm<TB> stm(tbase, cfg);
-    TVar<long, TB> x(0), y(0);
+    LsaStm stm(tb::make("shared"), cfg);
+    TVar<long> x(0), y(0);
 
     std::thread a([&] {
         auto ctx = stm.make_context();

@@ -25,19 +25,17 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 // Comfortably past detail::kInlineScan (8) so every lookup below runs on
 // the hash index, not the inline scan.
 constexpr int kManyVars = 40;
 
 void check_write_set_past_threshold() {
-    TB tbase;
-    LsaStm<TB> stm(tbase);
-    std::vector<std::unique_ptr<TVar<long, TB>>> vars;
+    LsaStm stm(tb::make("shared"));
+    std::vector<std::unique_ptr<TVar<long>>> vars;
     for (int i = 0; i < kManyVars; ++i)
-        vars.push_back(std::make_unique<TVar<long, TB>>(0));
+        vars.push_back(std::make_unique<TVar<long>>(0));
 
     auto ctx = stm.make_context();
     ctx.run([&](Tx& tx) {
@@ -65,11 +63,10 @@ void check_write_set_past_threshold() {
 }
 
 void check_read_dedup() {
-    TB tbase;
-    LsaStm<TB> stm(tbase);
-    std::vector<std::unique_ptr<TVar<long, TB>>> vars;
+    LsaStm stm(tb::make("shared"));
+    std::vector<std::unique_ptr<TVar<long>>> vars;
     for (int i = 0; i < kManyVars; ++i)
-        vars.push_back(std::make_unique<TVar<long, TB>>(7));
+        vars.push_back(std::make_unique<TVar<long>>(7));
 
     auto ctx = stm.make_context();
     // One var read many times collapses to one entry.
@@ -103,16 +100,15 @@ void check_read_dedup() {
 // and resolves it through the sorted write set. Concurrency makes the
 // cross-checks meaningful (torn commits would break conservation).
 void check_large_update_txns_concurrent() {
-    TB tbase;
-    LsaStm<TB> stm(tbase);
+    LsaStm stm(tb::make("shared"));
     constexpr int kAccounts = 24;
     constexpr int kTouch = 12;  // > kInlineScan
     constexpr int kThreads = 4;
     constexpr int kTxPerThread = 800;
     constexpr long kInitial = 1000;
-    std::vector<std::unique_ptr<TVar<long, TB>>> acct;
+    std::vector<std::unique_ptr<TVar<long>>> acct;
     for (int i = 0; i < kAccounts; ++i)
-        acct.push_back(std::make_unique<TVar<long, TB>>(kInitial));
+        acct.push_back(std::make_unique<TVar<long>>(kInitial));
 
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
@@ -175,12 +171,11 @@ void check_batched_counter_stamps() {
 // trigger constantly): writers keep an invariant, in-transaction readers
 // must never see it broken.
 void check_batched_counter_snapshots() {
-    using BTB = tb::BatchedCounterTimeBase;
-    using BTx = Transaction<BTB>;
-    BTB tbase(4);
-    LsaStm<BTB> stm(tbase);
+    using BTx = Transaction;
+    tb::BatchedCounterTimeBase tbase(4);
+    LsaStm stm(tb::TimeBase::wrap(tbase));
     constexpr long kTotal = 600;
-    TVar<long, BTB> a(kTotal / 2), b(kTotal / 2);
+    TVar<long> a(kTotal / 2), b(kTotal / 2);
 
     std::atomic<bool> stop{false};
     std::atomic<int> violations{0};

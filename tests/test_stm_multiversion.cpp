@@ -14,7 +14,6 @@
 #include <thread>
 
 #include <chronostm/core/lsa_stm.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 
 #include "test_util.hpp"
 
@@ -22,8 +21,7 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 struct Staged {
     int attempts = 0;
@@ -33,12 +31,11 @@ struct Staged {
 
 // Reader reads A, parks while a writer commits B=20, then reads B.
 Staged run_schedule(unsigned max_versions, bool read_extension) {
-    TB tbase;
     StmConfig cfg;
     cfg.max_versions = max_versions;
     cfg.read_extension = read_extension;
-    LsaStm<TB> stm(tbase, cfg);
-    TVar<long, TB> va(1), vb(10);
+    LsaStm stm(tb::make("shared"), cfg);
+    TVar<long> va(1), vb(10);
 
     std::atomic<bool> reader_started{false}, writer_done{false};
     std::thread writer([&] {

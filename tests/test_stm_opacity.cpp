@@ -16,10 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/stm/adapter.hpp>
-#include <chronostm/timebase/batched_counter.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
 #include <chronostm/util/rng.hpp>
 
 #include "test_util.hpp"
@@ -28,10 +28,65 @@ using namespace chronostm;
 
 namespace {
 
-using TB = tb::SharedCounterTimeBase;
-using Tx = Transaction<TB>;
+using Tx = Transaction;
 
 constexpr long kTotal = 200;
+
+// Core layer: writers keep a + b == kTotal; in-transaction readers must
+// always observe the invariant, whatever base the facade resolves.
+void check_opacity_core(tb::TimeBase tbase, const char* name, int run_ms,
+                        int writers, int readers) {
+    LsaStm stm(std::move(tbase));
+    TVar<long> a(kTotal / 2), b(kTotal / 2);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reader_txns{0};
+    std::atomic<int> violations{0};
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([&, w] {
+            auto ctx = stm.make_context();
+            Rng rng(w * 131 + 7);
+            while (!stop.load(std::memory_order_acquire)) {
+                const long amount = static_cast<long>(rng.below(20)) + 1;
+                ctx.run([&](Tx& tx) {
+                    a.set(tx, a.get(tx) - amount);
+                    b.set(tx, b.get(tx) + amount);
+                });
+            }
+        });
+    }
+    for (int r = 0; r < readers; ++r) {
+        threads.emplace_back([&] {
+            auto ctx = stm.make_context();
+            while (!stop.load(std::memory_order_acquire)) {
+                ctx.run([&](Tx& tx) {
+                    const long a1 = a.get(tx);
+                    const long b1 = b.get(tx);
+                    const long a2 = a.get(tx);
+                    if (a1 + b1 != kTotal || a1 != a2)
+                        violations.fetch_add(1, std::memory_order_relaxed);
+                });
+                reader_txns.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+
+    CHECK_MSG(violations.load() == 0, "time base %s: %d violations", name,
+              violations.load());
+    CHECK_MSG(reader_txns.load() > 0, "time base %s: no reader progress",
+              name);
+    CHECK_MSG(a.unsafe_peek() + b.unsafe_peek() == kTotal,
+              "time base %s: total %ld", name,
+              a.unsafe_peek() + b.unsafe_peek());
+    std::printf("core/%s: %llu reader txns, 0 violations\n", name,
+                static_cast<unsigned long long>(reader_txns.load()));
+}
 
 // Facade version, generic over the engine.
 template <typename A>
@@ -88,70 +143,26 @@ void check_opacity_facade(A& adapter, const char* name, int run_ms) {
 }  // namespace
 
 int main() {
-    // Core layer, as shipped in PR 1.
-    {
-        TB tbase;
-        LsaStm<TB> stm(tbase);
-        TVar<long, TB> a(kTotal / 2), b(kTotal / 2);
-
-        std::atomic<bool> stop{false};
-        std::atomic<std::uint64_t> reader_txns{0};
-        std::atomic<int> violations{0};
-
-        std::vector<std::thread> threads;
-        for (int w = 0; w < 4; ++w) {
-            threads.emplace_back([&, w] {
-                auto ctx = stm.make_context();
-                Rng rng(w * 131 + 7);
-                while (!stop.load(std::memory_order_acquire)) {
-                    const long amount = static_cast<long>(rng.below(20)) + 1;
-                    ctx.run([&](Tx& tx) {
-                        a.set(tx, a.get(tx) - amount);
-                        b.set(tx, b.get(tx) + amount);
-                    });
-                }
-            });
-        }
-        for (int r = 0; r < 4; ++r) {
-            threads.emplace_back([&] {
-                auto ctx = stm.make_context();
-                while (!stop.load(std::memory_order_acquire)) {
-                    ctx.run([&](Tx& tx) {
-                        const long a1 = a.get(tx);
-                        const long b1 = b.get(tx);
-                        const long a2 = a.get(tx);
-                        if (a1 + b1 != kTotal || a1 != a2)
-                            violations.fetch_add(1, std::memory_order_relaxed);
-                    });
-                    reader_txns.fetch_add(1, std::memory_order_relaxed);
-                }
-            });
-        }
-
-        std::this_thread::sleep_for(std::chrono::milliseconds(300));
-        stop.store(true, std::memory_order_release);
-        for (auto& th : threads) th.join();
-
-        CHECK(violations.load() == 0);
-        CHECK(reader_txns.load() > 0);
-        CHECK(a.unsafe_peek() + b.unsafe_peek() == kTotal);
-        std::printf("core: %llu reader txns, 0 violations\n",
-                    static_cast<unsigned long long>(reader_txns.load()));
-    }
+    // Core layer over registry-selected bases: the exact counter as
+    // shipped in PR 1, plus the imprecise scalable bases whose deviation
+    // shrink must keep every snapshot consistent anyway (batched stamps
+    // lag the counter; sharded stamps lag the watermark; adaptive crosses
+    // modes while this runs if its trigger trips).
+    check_opacity_core(tb::make("shared"), "shared", 300, 4, 4);
+    check_opacity_core(tb::make("batched:B=16"), "batched:B=16", 150, 2, 2);
+    check_opacity_core(tb::make("sharded:S=4,K=4"), "sharded:S=4,K=4", 150,
+                       2, 2);
+    check_opacity_core(tb::make("adaptive:S=4,B=8,L=8"), "adaptive", 150, 2,
+                       2);
+    if (const char* env = std::getenv("CHRONOSTM_TIMEBASE"))
+        for (const auto& spec : tb::split_specs(env))
+            check_opacity_core(tb::make(spec), spec.c_str(), 150, 2, 2);
 
     // Every engine behind the facade passes the same bar.
-    {
-        tb::SharedCounterTimeBase tbase;
-        stm::LsaAdapter<tb::SharedCounterTimeBase> a(tbase);
-        check_opacity_facade(a, "LSA-RT/SharedCounter", 150);
-    }
-    {
-        // Small blocks: readers constantly meet versions stamped behind
-        // the exact counter; the deviation shrink must keep every snapshot
-        // consistent anyway.
-        tb::BatchedCounterTimeBase tbase(16);
-        stm::LsaAdapter<tb::BatchedCounterTimeBase> a(tbase);
-        check_opacity_facade(a, "LSA-RT/BatchedCounter(B=16)", 150);
+    for (const char* spec :
+         {"shared", "batched:B=16", "sharded:S=2,K=8", "adaptive:S=2"}) {
+        stm::LsaAdapter a(tb::make(spec));
+        check_opacity_facade(a, spec, 150);
     }
     {
         stm::Tl2Adapter a;

@@ -2,18 +2,18 @@
 // draws a stream of stamps from its own thread clock; get_new_ts must be
 // strictly increasing within a thread for every base, and get_time
 // observations interleaved with them must never exceed a later commit
-// stamp from the same clock.
+// stamp from the same clock. Imprecise bases (batched/sharded/adaptive)
+// run a deviation-adjusted variant of the get_time bound -- an
+// observation may lead a later stamp, but never by more than the pairwise
+// uncertainty 2*deviation() -- exercised through the facade registry so
+// the string-keyed path is what the invariants hold over.
 
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include <chronostm/timebase/batched_counter.hpp>
-#include <chronostm/timebase/ext_sync_clock.hpp>
-#include <chronostm/timebase/mmtimer.hpp>
-#include <chronostm/timebase/perfect_clock.hpp>
-#include <chronostm/timebase/shared_counter.hpp>
-#include <chronostm/timebase/tl2_shared_counter.hpp>
+#include <chronostm/timebase/facade.hpp>
 
 #include "test_util.hpp"
 
@@ -75,6 +75,34 @@ void check_monotonic_batched(std::uint64_t block, int stamps_per_thread) {
                   static_cast<unsigned long long>(block), t);
 }
 
+// Registry-made imprecise bases: stamps strictly increase per thread, and
+// interleaved get_time observations stay within the pairwise uncertainty
+// of a later stamp from the same clock (now <= ts + 2*deviation(); see the
+// centered-bound derivations in the base headers).
+void check_monotonic_facade(const std::string& spec, int stamps_per_thread) {
+    tb::TimeBase tbase = tb::make(spec);
+    const std::uint64_t slack = 2 * tbase.deviation() + 1;
+    std::vector<std::thread> threads;
+    std::vector<int> ok(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tbase, &ok, slack, t, stamps_per_thread] {
+            auto clk = tbase.make_thread_clock();
+            std::uint64_t prev_ts = 0;
+            bool good = true;
+            for (int i = 0; i < stamps_per_thread; ++i) {
+                const std::uint64_t now = clk.get_time();
+                const std::uint64_t ts = clk.get_new_ts();
+                good = good && (i == 0 || ts > prev_ts) && (now < ts + slack);
+                prev_ts = ts;
+            }
+            ok[t] = good ? 1 : 0;
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        CHECK_MSG(ok[t] == 1, "time base %s, thread %u", spec.c_str(), t);
+}
+
 }  // namespace
 
 int main() {
@@ -89,6 +117,13 @@ int main() {
     check_monotonic_batched(1, 20000);   // degenerate: behaves exactly
     check_monotonic_batched(8, 20000);   // refetch-heavy
     check_monotonic_batched(64, 20000);  // throughput-tuned
+    check_monotonic_facade("batched:B=8", 20000);
+    check_monotonic_facade("sharded:S=1,K=1", 20000);  // near-exact corner
+    check_monotonic_facade("sharded:S=4,K=8", 20000);
+    check_monotonic_facade("sharded:S=8,K=2", 20000);
+    check_monotonic_facade("adaptive:S=4,B=8,L=16", 20000);
+    check_monotonic_facade("adaptive:S=3,B=4,L=4,threshold-ns=1,trips=1",
+                           20000);  // trips instantly: crosses both switches
     {
         tb::PerfectClockTimeBase tbase(tb::PerfectSource::Auto);
         check_monotonic(tbase, 20000, "PerfectClock(Auto)");
