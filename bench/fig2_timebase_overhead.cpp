@@ -34,22 +34,41 @@ using namespace chronostm;
 
 namespace {
 
-double measure(stm::LsaAdapter& adapter, unsigned threads, unsigned accesses,
-               double duration_ms) {
-    wl::DisjointWorkload<stm::LsaAdapter> work(threads, 256);
+struct Point {
+    double mtx = 0;
+    std::uint64_t false_conflicts = 0;
+};
+
+template <typename A>
+Point measure(A& adapter, unsigned threads, unsigned accesses,
+              double duration_ms) {
+    wl::DisjointWorkload<A> work(threads, 256);
     wl::RunSpec spec;
     spec.threads = threads;
     spec.warmup_ms = duration_ms / 5;
     spec.duration_ms = duration_ms;
     const auto res = wl::run_throughput(spec, [&](unsigned tid) {
-        auto ctx = std::make_shared<stm::LsaAdapter::Context>(
+        auto ctx = std::make_shared<typename A::Context>(
             adapter.make_context());
         auto rng = std::make_shared<Rng>(tid * 31 + 7);
         return [&adapter, &work, tid, accesses, ctx, rng] {
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return res.mops_per_sec;
+    return {res.mops_per_sec, adapter.collected_stats().false_conflicts};
+}
+
+// The time-base overhead question is engine-agnostic (both engines draw
+// stamps at the same points: start, extension, commit), so the whole
+// figure can be re-run on the orec engine with --engine=orec.
+Point measure_engine(bool orec, const std::string& spec, unsigned threads,
+                     unsigned accesses, double duration_ms) {
+    if (orec) {
+        stm::OrecAdapter a(tb::make(spec));
+        return measure(a, threads, accesses, duration_ms);
+    }
+    stm::LsaAdapter a(tb::make(spec));
+    return measure(a, threads, accesses, duration_ms);
 }
 
 }  // namespace
@@ -57,6 +76,7 @@ double measure(stm::LsaAdapter& adapter, unsigned threads, unsigned accesses,
 int main(int argc, char** argv) {
     Cli cli("Figure 2: time-base overhead, disjoint update transactions");
     wl::flag_timebase(cli, "shared,batched:B=8,sharded:S=4,mmtimer,perfect");
+    wl::flag_engine(cli);
     cli.flag_i64("duration-ms", 300, "measured window per point")
         .flag_i64("max-threads", 0, "cap thread sweep (0 = paper's 16)")
         .flag_i64("objects", 256, "objects per thread partition")
@@ -64,10 +84,12 @@ int main(int argc, char** argv) {
     try {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
+        wl::validate_engine_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+    const bool orec = wl::engine_is_orec(cli);
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const auto tb_specs = tb::split_specs(cli.str("timebase"));
     const auto sweep = wl::figure2_thread_sweep(
@@ -90,6 +112,7 @@ int main(int argc, char** argv) {
         .kv("host_threads", hardware_threads())
         .kv("duration_ms", duration)
         .kv("timebase", cli.str("timebase"))
+        .kv("engine", cli.str("engine"))
         .key("panels")
         .arr_begin();
 
@@ -115,13 +138,14 @@ int main(int argc, char** argv) {
                 Table::num(static_cast<std::uint64_t>(n))};
             json.obj_begin().kv("threads", n).key("series").arr_begin();
             for (std::size_t i = 0; i < tb_specs.size(); ++i) {
-                stm::LsaAdapter a(tb::make(tb_specs[i]));
-                const double mtx = measure(a, n, accesses, duration);
-                series[i].push_back(mtx);
-                row.push_back(Table::num(mtx, 3));
+                const Point p =
+                    measure_engine(orec, tb_specs[i], n, accesses, duration);
+                series[i].push_back(p.mtx);
+                row.push_back(Table::num(p.mtx, 3));
                 json.obj_begin()
                     .kv("timebase", tb_specs[i])
-                    .kv("mtxs", mtx)
+                    .kv("mtxs", p.mtx)
+                    .kv("false_conflicts", p.false_conflicts)
                     .obj_end();
             }
             json.arr_end()
@@ -131,8 +155,10 @@ int main(int argc, char** argv) {
             t.add_row(row);
         }
         json.arr_end().obj_end();
-        t.add_note("series = LSA-RT over each time base via the runtime "
-                   "facade; workload identical");
+        t.add_note(std::string("series = ") +
+                   (orec ? "Orec-LSA" : "LSA-RT") +
+                   " over each time base via the runtime facade; workload "
+                   "identical");
         t.add_note("batched/sharded trade freshness aborts (recently "
                    "committed data is unreadable for ~2*deviation stamps) "
                    "for fewer shared-line RMWs; tune via B / S,K");

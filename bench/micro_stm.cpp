@@ -8,6 +8,18 @@
 // Counter/Clock rows cover the baseline-gated configurations, and the
 // uniform --timebase=<spec[,spec...]> flag registers extra
 // BM_ReadOnly_TB/... rows for any registry spec (sharded, adaptive, ...).
+// --engine=orec points those dynamic rows at the orec engine instead.
+//
+// Engine rows (baseline-gated by scripts/check_bench.py):
+//  * BM_Orec_* twins the LSA rows on the orec-table word STM under the
+//    SAME workload; the gate requires each twin within --orec-tolerance
+//    of its LSA row (the shift+mask lookup must not cost more than the
+//    per-TVar indirection it replaces).
+//  * BM_Orec_Update_Batched8 vs BM_Tl2_Update: orec LSA on the batched
+//    scalable counter must beat the global-clock TL2 baseline on the
+//    100-write row (what snapshot extension + a scalable base buy).
+//  * BM_Update_Wide_Counter keeps the >8-byte TVar path (lazy heap
+//    history ring) measured next to the word-sized TVars' embedded ring.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +30,8 @@
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/core/orec_stm.hpp>
+#include <chronostm/stm/adapter.hpp>
 #include <chronostm/util/gbench_main.hpp>
 
 namespace {
@@ -75,12 +89,131 @@ void bm_read_after_write(benchmark::State& state, const std::string& spec) {
     }
 }
 
+// --- orec engine twins: same workloads on raw WordVar<long>s ------------
+
+struct OrecRig {
+    OrecStm stm;
+    std::vector<std::unique_ptr<WordVar<long>>> vars;
+
+    OrecRig(const std::string& spec, std::size_t n) : stm(tb::make(spec)) {
+        for (std::size_t i = 0; i < n; ++i)
+            vars.push_back(std::make_unique<WordVar<long>>(1));
+    }
+};
+
+void bm_orec_readonly_txn(benchmark::State& state, const std::string& spec) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    OrecRig rig(spec, reads);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        long sum = ctx.run([&](OrecTransaction& tx) {
+            long s = 0;
+            for (auto& v : rig.vars) s += v->get(tx);
+            return s;
+        });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
+}
+
+void bm_orec_update_txn(benchmark::State& state, const std::string& spec) {
+    const auto writes = static_cast<std::size_t>(state.range(0));
+    OrecRig rig(spec, writes);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](OrecTransaction& tx) {
+            for (auto& v : rig.vars) v->set(tx, v->get(tx) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
+}
+
+void bm_orec_read_after_write(benchmark::State& state,
+                              const std::string& spec) {
+    OrecRig rig(spec, 1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        long v = ctx.run([&](OrecTransaction& tx) {
+            rig.vars[0]->set(tx, 7);
+            long s = 0;
+            for (int i = 0; i < 8; ++i) s += rig.vars[0]->get(tx);
+            return s;
+        });
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+// TL2 baseline twin of the update workload (its own global version clock;
+// no --timebase axis) for the orec-beats-TL2 gate.
+void bm_tl2_update_txn(benchmark::State& state) {
+    const auto writes = static_cast<std::size_t>(state.range(0));
+    stm::Tl2Adapter adapter;
+    std::vector<std::unique_ptr<stm::Tl2Adapter::Var<long>>> vars;
+    for (std::size_t i = 0; i < writes; ++i)
+        vars.push_back(std::make_unique<stm::Tl2Adapter::Var<long>>(1));
+    auto ctx = adapter.make_context();
+    for (auto _ : state) {
+        adapter.run(ctx, [&](stm::Tl2Adapter::Txn& tx) {
+            for (auto& v : vars) tx.write(*v, tx.read(*v) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
+}
+
+// Wider-than-a-word TVar: exercises the lazy heap history ring that
+// word-sized TVars no longer use (their ring is embedded in the var).
+struct Wide {
+    long a;
+    long b;
+};
+
+void bm_update_wide_txn(benchmark::State& state, const std::string& spec) {
+    const auto writes = static_cast<std::size_t>(state.range(0));
+    LsaStm stm(tb::make(spec));
+    std::vector<std::unique_ptr<TVar<Wide>>> vars;
+    for (std::size_t i = 0; i < writes; ++i)
+        vars.push_back(std::make_unique<TVar<Wide>>(Wide{1, 2}));
+    auto ctx = stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](Transaction& tx) {
+            for (auto& v : vars) {
+                Wide w = v->get(tx);
+                w.a += 1;
+                v->set(tx, w);
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
+}
+
 void BM_ReadOnly_Counter(benchmark::State& s) { bm_readonly_txn(s, "shared"); }
 void BM_ReadOnly_Clock(benchmark::State& s) { bm_readonly_txn(s, "perfect"); }
 void BM_Update_Counter(benchmark::State& s) { bm_update_txn(s, "shared"); }
 void BM_Update_Clock(benchmark::State& s) { bm_update_txn(s, "perfect"); }
 void BM_ReadAfterWrite_Counter(benchmark::State& s) {
     bm_read_after_write(s, "shared");
+}
+void BM_Orec_ReadOnly_Counter(benchmark::State& s) {
+    bm_orec_readonly_txn(s, "shared");
+}
+void BM_Orec_ReadOnly_Clock(benchmark::State& s) {
+    bm_orec_readonly_txn(s, "perfect");
+}
+void BM_Orec_Update_Counter(benchmark::State& s) {
+    bm_orec_update_txn(s, "shared");
+}
+void BM_Orec_Update_Clock(benchmark::State& s) {
+    bm_orec_update_txn(s, "perfect");
+}
+void BM_Orec_ReadAfterWrite_Counter(benchmark::State& s) {
+    bm_orec_read_after_write(s, "shared");
+}
+void BM_Orec_Update_Batched8(benchmark::State& s) {
+    bm_orec_update_txn(s, "batched:B=8");
+}
+void BM_Tl2_Update(benchmark::State& s) { bm_tl2_update_txn(s); }
+void BM_Update_Wide_Counter(benchmark::State& s) {
+    bm_update_wide_txn(s, "shared");
 }
 
 }  // namespace
@@ -90,22 +223,38 @@ BENCHMARK(BM_ReadOnly_Clock)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_Update_Counter)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_Update_Clock)->Arg(1)->Arg(10)->Arg(100);
 BENCHMARK(BM_ReadAfterWrite_Counter);
+BENCHMARK(BM_Orec_ReadOnly_Counter)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Orec_ReadOnly_Clock)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Orec_Update_Counter)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Orec_Update_Clock)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Orec_ReadAfterWrite_Counter);
+BENCHMARK(BM_Orec_Update_Batched8)->Arg(100);
+BENCHMARK(BM_Tl2_Update)->Arg(100);
+BENCHMARK(BM_Update_Wide_Counter)->Arg(1)->Arg(100);
 
 int main(int argc, char** argv) {
     // Uniform --timebase flag: each extra spec registers the full row set
-    // under a spec-tagged name, so sweeps never shadow the gated rows.
-    // Specs are resolved once up front so a typo exits 2 with the
-    // registry's message instead of aborting mid-benchmark.
+    // under a spec-tagged name, so sweeps never shadow the gated rows;
+    // --engine=orec points the dynamic rows at the orec engine. Specs are
+    // resolved once up front so a typo exits 2 with the registry's
+    // message instead of aborting mid-benchmark.
     try {
+        const std::string engine = chronostm::extract_engine_flag(argc, argv);
+        if (engine != "lsa" && engine != "orec")
+            throw std::invalid_argument("unknown --engine '" + engine +
+                                        "' (expected: lsa, orec)");
+        const bool orec = engine == "orec";
         for (const auto& spec : chronostm::tb::split_specs(
                  chronostm::extract_timebase_flag(argc, argv))) {
             chronostm::tb::make(spec);
-            benchmark::RegisterBenchmark(("BM_ReadOnly_TB/" + spec).c_str(),
-                                         bm_readonly_txn, spec)
+            benchmark::RegisterBenchmark(
+                ("BM_ReadOnly_TB/" + spec).c_str(),
+                orec ? bm_orec_readonly_txn : bm_readonly_txn, spec)
                 ->Arg(10)
                 ->Arg(100);
-            benchmark::RegisterBenchmark(("BM_Update_TB/" + spec).c_str(),
-                                         bm_update_txn, spec)
+            benchmark::RegisterBenchmark(
+                ("BM_Update_TB/" + spec).c_str(),
+                orec ? bm_orec_update_txn : bm_update_txn, spec)
                 ->Arg(10)
                 ->Arg(100);
         }

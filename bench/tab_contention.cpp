@@ -22,6 +22,7 @@ using namespace chronostm;
 int main(int argc, char** argv) {
     Cli cli("contention-manager comparison on a hot-spot bank");
     wl::flag_timebase(cli, "perfect");
+    wl::flag_engine(cli);
     cli.flag_i64("threads", 4, "worker threads")
         .flag_i64("accounts", 16, "accounts (small = hot)")
         .flag_f64("zipf", 0.9, "access skew")
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     try {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
+        wl::validate_engine_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -91,6 +93,45 @@ int main(int argc, char** argv) {
             .kv("mtxs", res.mops_per_sec)
             .kv("abort_ratio", ratio)
             .kv("conserved", conserved)
+            .obj_end();
+        all_progress = all_progress && res.total_ops > 0;
+        all_conserved = all_conserved && conserved;
+    }
+
+    // The orec engine delegates nothing: conflicts abort and back off
+    // (there is no owner descriptor to arbitrate over). --engine=orec adds
+    // it as a reference row against the LSA policies, same workload.
+    if (wl::engine_is_orec(cli)) {
+        using O = stm::OrecAdapter;
+        O adapter(tb::make(tb_spec));
+        wl::Bank<O> bank(accounts, 1000, zipf);
+
+        wl::RunSpec spec;
+        spec.threads = threads;
+        spec.warmup_ms = duration / 5;
+        spec.duration_ms = duration;
+        const auto res = wl::run_throughput(spec, [&](unsigned tid) {
+            auto ctx =
+                std::make_shared<typename O::Context>(adapter.make_context());
+            auto rng = std::make_shared<Rng>(tid * 101 + 9);
+            return [&, ctx, rng] { bank.transfer(adapter, *ctx, *rng); };
+        });
+
+        const auto stats = adapter.collected_stats();
+        const double ratio =
+            stats.commits() + stats.aborts() == 0
+                ? 0
+                : static_cast<double>(stats.aborts()) /
+                      static_cast<double>(stats.commits() + stats.aborts());
+        const bool conserved = bank.unsafe_total() == bank.expected_total();
+        t.add_row({"orec-backoff", Table::num(res.mops_per_sec, 3),
+                   Table::num(ratio, 4), conserved ? "yes" : "NO"});
+        json.obj_begin()
+            .kv("policy", "orec-backoff")
+            .kv("mtxs", res.mops_per_sec)
+            .kv("abort_ratio", ratio)
+            .kv("conserved", conserved)
+            .kv("false_conflicts", stats.false_conflicts)
             .obj_end();
         all_progress = all_progress && res.total_ops > 0;
         all_conserved = all_conserved && conserved;

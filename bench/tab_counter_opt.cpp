@@ -26,9 +26,14 @@ using namespace chronostm;
 
 namespace {
 
+struct Point {
+    double mtx = 0;
+    std::uint64_t false_conflicts = 0;
+};
+
 template <typename A>
-double measure(A& adapter, unsigned threads, unsigned accesses,
-               double duration_ms) {
+Point measure(A& adapter, unsigned threads, unsigned accesses,
+              double duration_ms) {
     wl::DisjointWorkload<A> work(threads, 256);
     wl::RunSpec spec;
     spec.threads = threads;
@@ -41,7 +46,7 @@ double measure(A& adapter, unsigned threads, unsigned accesses,
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return res.mops_per_sec;
+    return {res.mops_per_sec, adapter.collected_stats().false_conflicts};
 }
 
 }  // namespace
@@ -49,16 +54,19 @@ double measure(A& adapter, unsigned threads, unsigned accesses,
 int main(int argc, char** argv) {
     Cli cli("Section 4.2 ablation: TL2-style counter optimization");
     wl::flag_timebase(cli, "shared,tl2,batched:B=8,sharded:S=4,perfect");
+    wl::flag_engine(cli);
     cli.flag_i64("duration-ms", 300, "measured window per point")
         .flag_i64("accesses", 10, "accesses per transaction")
         .flag_str("json", "", "write machine-readable results to this path");
     try {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
+        wl::validate_engine_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+    const bool orec = wl::engine_is_orec(cli);
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const auto accesses = static_cast<unsigned>(cli.i64("accesses"));
     const auto tb_specs = tb::split_specs(cli.str("timebase"));
@@ -79,6 +87,7 @@ int main(int argc, char** argv) {
         .kv("duration_ms", duration)
         .kv("accesses", accesses)
         .kv("timebase", cli.str("timebase"))
+        .kv("engine", cli.str("engine"))
         .key("rows")
         .arr_begin();
     // series[i] = throughput sweep for tb_specs[i].
@@ -87,13 +96,20 @@ int main(int argc, char** argv) {
         std::vector<std::string> row{Table::num(static_cast<std::uint64_t>(n))};
         json.obj_begin().kv("threads", n).key("series").arr_begin();
         for (std::size_t i = 0; i < tb_specs.size(); ++i) {
-            stm::LsaAdapter a(tb::make(tb_specs[i]));
-            const double mtx = measure(a, n, accesses, duration);
-            series[i].push_back(mtx);
-            row.push_back(Table::num(mtx, 3));
+            Point p;
+            if (orec) {
+                stm::OrecAdapter a(tb::make(tb_specs[i]));
+                p = measure(a, n, accesses, duration);
+            } else {
+                stm::LsaAdapter a(tb::make(tb_specs[i]));
+                p = measure(a, n, accesses, duration);
+            }
+            series[i].push_back(p.mtx);
+            row.push_back(Table::num(p.mtx, 3));
             json.obj_begin()
                 .kv("timebase", tb_specs[i])
-                .kv("mtxs", mtx)
+                .kv("mtxs", p.mtx)
+                .kv("false_conflicts", p.false_conflicts)
                 .obj_end();
         }
         json.arr_end()

@@ -10,6 +10,12 @@
 // Expected shape: LSA-RT and TL2 lead; VSTM/always-validate trails badly on
 // long transactions (quadratic validation); the commit-counter heuristic
 // recovers some of it; the global lock cannot scale.
+//
+// The orec-table engine (Orec-LSA) rides the same --timebase sweep as
+// LSA-RT: same snapshot-extension algorithm, per-TVar metadata swapped for
+// a global versioned-lock table. Its rows carry the engine's
+// false_conflicts counter (distinct addresses hashing to one orec) in the
+// JSON blob, so sweeps can watch aliasing pressure alongside throughput.
 
 #include <cstdio>
 #include <iostream>
@@ -126,12 +132,14 @@ int main(int argc, char** argv) {
         .kv("duration_ms", duration)
         .key("rows")
         .arr_begin();
-    const auto emit = [&](const char* name, double hs, double au) {
+    const auto emit = [&](const char* name, double hs, double au,
+                          std::uint64_t false_conf = 0) {
         t.add_row({name, Table::num(hs, 3), Table::num(au, 1)});
         json.obj_begin()
             .kv("system", name)
             .kv("hashset_mtxs", hs)
             .kv("audits_ks", au)
+            .kv("false_conflicts", false_conf)
             .obj_end();
     };
 
@@ -146,6 +154,17 @@ int main(int argc, char** argv) {
         if (first_spec) lsa_audit = au;
         first_spec = false;
         emit(("LSA-RT/" + spec).c_str(), hs, au);
+    }
+    // One Orec-LSA row per spec: same workloads, same time bases, the
+    // per-TVar metadata replaced by the shared orec table.
+    for (const auto& spec : tb_specs) {
+        stm::OrecAdapter a(tb::make(spec));
+        const double hs = bench_hashset(a, threads, duration);
+        stm::OrecAdapter a2(tb::make(spec));
+        const double au = bench_audit(a2, threads, duration, conserved);
+        const std::uint64_t fc = a.collected_stats().false_conflicts +
+                                 a2.collected_stats().false_conflicts;
+        emit(("Orec-LSA/" + spec).c_str(), hs, au, fc);
     }
     {
         stm::Tl2Adapter a;

@@ -14,9 +14,11 @@
 //  * Each TVar keeps a bounded history of old versions with validity
 //    ranges [from, until), so long read-only transactions can read a
 //    consistent-but-old snapshot instead of aborting (multi-version LSA;
-//    depth is StmConfig::max_versions). The history ring is allocated
-//    lazily on the first committed write that keeps history, so TVars in
-//    TL2-like max_versions=1 configurations stay a few words wide.
+//    depth is StmConfig::max_versions). Word-sized T embeds the ring in
+//    the TVar (no heap allocation, no pointer chase on commit); wider T
+//    heap-allocates it lazily on the first committed write that keeps
+//    history, so those TVars stay a few words wide in TL2-like
+//    max_versions=1 configurations (detail::HistoryHolder).
 //  * A transaction maintains a snapshot interval [lower, upper]. Reads pick
 //    the most recent version valid at `upper`; when the current version is
 //    too new the snapshot is lazily extended to the present (validating the
@@ -130,9 +132,11 @@ class TxStats {
  public:
     TxStats() = default;
     TxStats(std::uint64_t commits, std::uint64_t aborts,
-            std::uint64_t helped_c = 0, std::uint64_t helped_ts = 0)
+            std::uint64_t helped_c = 0, std::uint64_t helped_ts = 0,
+            std::uint64_t false_conf = 0)
         : helped_commits(helped_c),
           helped_timestamps(helped_ts),
+          false_conflicts(false_conf),
           commits_(commits),
           aborts_(aborts) {}
 
@@ -148,6 +152,14 @@ class TxStats {
     // the note in core/lsa_stm.hpp's detail namespace.
     std::uint64_t helped_commits = 0;
     std::uint64_t helped_timestamps = 0;
+
+    // Orec-table aliasing events (core/orec_stm.hpp): number of times a
+    // transaction observed two DISTINCT granule addresses mapping to the
+    // same ownership record -- in its read set (counted once per aliased
+    // orec entry) or in its write set at lock time (once per extra granule
+    // sharing an already-locked orec). Always 0 for the per-TVar engines,
+    // whose metadata cannot alias.
+    std::uint64_t false_conflicts = 0;
 
  private:
     std::uint64_t commits_ = 0;
@@ -170,6 +182,7 @@ struct StatsBlock {
     std::atomic<std::uint64_t> aborts{0};
     std::atomic<std::uint64_t> helped_commits{0};
     std::atomic<std::uint64_t> helped_timestamps{0};
+    std::atomic<std::uint64_t> false_conflicts{0};
 };
 
 // Exponential backoff with multiplicative-hash jitter; yields once the spin
@@ -678,6 +691,67 @@ class TVarBase {
     std::atomic<std::uint64_t> vlock_{0};
 };
 
+// Old versions live in a ring written only while the lock bit is held;
+// readers snapshot entries and recheck vlock_ to detect slot reuse.
+template <typename T>
+struct VersionHistory {
+    struct OldVersion {
+        std::atomic<T> value{};
+        std::atomic<std::uint64_t> from{0};
+        std::atomic<std::uint64_t> until{0};
+    };
+    // Control words first: for word-sized TVars the ring is embedded in
+    // the var itself, and this keeps the commit-touched head/size on the
+    // TVar's first cache line next to vlock_ and value_.
+    std::atomic<unsigned> head{0};
+    std::atomic<unsigned> size{0};
+    std::array<OldVersion, kMaxHistory> slots{};
+};
+
+// Where a TVar's history ring lives. Word-sized T (<= 8 bytes) embeds the
+// full-depth ring in the TVar itself: no heap allocation ever, and no
+// pointer chase on commit_write or old-version reads. The embedded ring
+// adds cold cache lines of footprint per var, but they are touched only by
+// history machinery -- plain reads and single-version commits stay on the
+// first line, where head/size sit next to vlock_/value_. Wider T keeps the
+// PR 3 shape: one lazy heap allocation on the first committed write that
+// keeps history, so single-version configurations stay a few words wide.
+template <typename T, bool Inline = (sizeof(T) <= 8 && alignof(T) <= 8)>
+struct HistoryHolder {
+    VersionHistory<T>* hist_for_write() { return &h_; }
+    const VersionHistory<T>* hist_for_read() const { return &h_; }
+    void clear_history() { h_.size.store(0, std::memory_order_release); }
+    VersionHistory<T> h_{};
+};
+
+template <typename T>
+struct HistoryHolder<T, false> {
+    HistoryHolder() = default;
+    ~HistoryHolder() { delete h_.load(std::memory_order_acquire); }
+    HistoryHolder(const HistoryHolder&) = delete;
+    HistoryHolder& operator=(const HistoryHolder&) = delete;
+
+    // Called with the owning TVar's lock bit held by exactly one thread
+    // (the committing owner or the helper that claimed the record), so the
+    // one-time allocation races nobody.
+    VersionHistory<T>* hist_for_write() {
+        auto* h = h_.load(std::memory_order_relaxed);
+        if (h == nullptr) {
+            h = new VersionHistory<T>;
+            h_.store(h, std::memory_order_release);
+        }
+        return h;
+    }
+    const VersionHistory<T>* hist_for_read() const {
+        return h_.load(std::memory_order_acquire);
+    }
+    void clear_history() {
+        auto* h = h_.load(std::memory_order_relaxed);
+        if (h != nullptr) h->size.store(0, std::memory_order_release);
+    }
+    std::atomic<VersionHistory<T>*> h_{nullptr};
+};
+
 }  // namespace detail
 
 using TVarBase = detail::TVarBase;
@@ -691,8 +765,6 @@ class TVar : public TVarBase {
  public:
     explicit TVar(T initial) : value_(initial) {}
 
-    ~TVar() { delete hist_.load(std::memory_order_acquire); }
-
     // Defined after Transaction (which they call into).
     T get(Transaction& tx);
     void set(Transaction& tx, T v);
@@ -704,22 +776,7 @@ class TVar : public TVarBase {
  private:
     friend class Transaction;
 
-    // Old versions live in a ring written only while the lock bit is held;
-    // readers snapshot entries and recheck vlock_ to detect slot reuse.
-    // The whole ring is heap-allocated on the first committed write that
-    // keeps history (max_versions > 1 configs), so a plain single-version
-    // TVar is just {vlock, value, null pointer} -- a couple of words
-    // instead of ~17 cache lines of inline ring.
-    struct OldVersion {
-        std::atomic<T> value{};
-        std::atomic<std::uint64_t> from{0};
-        std::atomic<std::uint64_t> until{0};
-    };
-    struct History {
-        std::array<OldVersion, detail::kMaxHistory> slots{};
-        std::atomic<unsigned> head{0};
-        std::atomic<unsigned> size{0};
-    };
+    using History = detail::VersionHistory<T>;
 
     // Called with the lock bit held by exactly one thread (the committing
     // owner or the helper that claimed this record). `old_ts` is the
@@ -734,13 +791,7 @@ class TVar : public TVarBase {
                       unsigned keep_old) {
         std::atomic_thread_fence(std::memory_order_release);
         if (keep_old > 0) {
-            History* h = hist_.load(std::memory_order_relaxed);
-            if (h == nullptr) {
-                // One-time allocation per TVar, done under the lock bit so
-                // exactly one thread (owner or claiming helper) runs it.
-                h = new History;
-                hist_.store(h, std::memory_order_release);
-            }
+            History* h = hist_.hist_for_write();
             const unsigned head =
                 (h->head.load(std::memory_order_relaxed) + 1) %
                 detail::kMaxHistory;
@@ -754,15 +805,14 @@ class TVar : public TVarBase {
             const unsigned sz = h->size.load(std::memory_order_relaxed);
             h->size.store(std::min(sz + 1, cap), std::memory_order_release);
         } else {
-            History* h = hist_.load(std::memory_order_relaxed);
-            if (h != nullptr) h->size.store(0, std::memory_order_release);
+            hist_.clear_history();
         }
         value_.store(v, std::memory_order_relaxed);
         this->vlock_.store(new_ts << 1, std::memory_order_release);
     }
 
     std::atomic<T> value_;
-    std::atomic<History*> hist_{nullptr};
+    detail::HistoryHolder<T> hist_;
 };
 
 class Transaction {
@@ -985,7 +1035,7 @@ class Transaction {
     // snapshot; `w1` is the unlocked lock word the caller just observed.
     template <typename T>
     bool read_old_version(TVar<T>& var, std::uint64_t w1, T& out) {
-        const auto* h = var.hist_.load(std::memory_order_acquire);
+        const auto* h = var.hist_.hist_for_read();
         if (h == nullptr) return false;  // never kept history
         const unsigned n = h->size.load(std::memory_order_acquire);
         const unsigned head = h->head.load(std::memory_order_acquire);
@@ -1292,7 +1342,8 @@ class ThreadContext {
             stats_->commits.load(std::memory_order_relaxed),
             stats_->aborts.load(std::memory_order_relaxed),
             stats_->helped_commits.load(std::memory_order_relaxed),
-            stats_->helped_timestamps.load(std::memory_order_relaxed));
+            stats_->helped_timestamps.load(std::memory_order_relaxed),
+            stats_->false_conflicts.load(std::memory_order_relaxed));
     }
 
  private:
@@ -1354,15 +1405,16 @@ class LsaStm {
 
     // Aggregate counters over every context ever created.
     TxStats collected_stats() const {
-        std::uint64_t c = 0, a = 0, hc = 0, ht = 0;
+        std::uint64_t c = 0, a = 0, hc = 0, ht = 0, fc = 0;
         std::lock_guard<std::mutex> g(mu_);
         for (const auto& b : blocks_) {
             c += b->commits.load(std::memory_order_relaxed);
             a += b->aborts.load(std::memory_order_relaxed);
             hc += b->helped_commits.load(std::memory_order_relaxed);
             ht += b->helped_timestamps.load(std::memory_order_relaxed);
+            fc += b->false_conflicts.load(std::memory_order_relaxed);
         }
-        return TxStats(c, a, hc, ht);
+        return TxStats(c, a, hc, ht, fc);
     }
 
     const StmConfig& config() const { return cfg_; }

@@ -1,0 +1,884 @@
+// Orec-table word STM: the Lazy Snapshot Algorithm run over a fixed global
+// table of ownership records instead of per-TVar metadata. Shared data is
+// plain memory -- words in structs, arrays, or the typed WordVar<T>
+// wrapper -- and every transactional access finds its versioned lock by
+// hashing the ADDRESS into the table: (addr >> 4) & mask, two ALU ops
+// (the TL2 shape). Nothing has to be declared as a TVar, so raw-memory
+// data structures become transactional for free.
+//
+// What carries over from the TVar core (core/lsa_stm.hpp) unchanged:
+//  * stamps come from the runtime-pluggable tb::TimeBase facade, so one
+//    engine serves every registered base (shared/batched/sharded/adaptive/
+//    extsync) selected at runtime;
+//  * snapshot interval [lower, upper] with lazy extension: a read that
+//    finds a too-new version revalidates the read set against the current
+//    orec words and moves `upper` to the present (this is precisely what
+//    plain TL2 lacks -- TL2 aborts where LSA extends);
+//  * deviation-aware validity: version admission shrinks by the pairwise
+//    stamp uncertainty (2 * TimeBase::deviation()), trading freshness
+//    aborts for correctness under imprecise scalable time bases. The
+//    algebra only ever touches orec version words, never per-location
+//    state, which is why it ports verbatim. One refinement on top: a
+//    version stamped with a stamp THIS context drew itself (stamps are
+//    globally unique, so it is this thread's own earlier commit) is
+//    admitted with no shrink at all -- see detail::RecentStamps. Without
+//    it, a thread re-reading what its previous transaction wrote under a
+//    batched/sharded base burns draws until the counter outruns its own
+//    stamps.
+//
+// What changes relative to the TVar core:
+//  * metadata is the table entry, shared by every 16-byte granule that
+//    hashes to it -- two independent addresses may collide ("false
+//    conflict"; counted in TxStats::false_conflicts, rate math in
+//    DESIGN.md). The table is per-OrecStm, so independent engines never
+//    alias each other;
+//  * single-version: no history ring to fall back on, so a reader that
+//    cannot extend aborts where the TVar core might serve an old version;
+//  * locks are TL2-style in-place bit sets (word | 1) that PRESERVE the
+//    version, not descriptor pointers -- so there is no commit helping and
+//    no contention-manager plumbing, just bounded spinning on foreign
+//    locks. Commit-time read validation tells "locked by me" from "locked
+//    by an enemy holding the same version" through the commit's own
+//    ownership index, never through the word alone.
+//
+// Memory access protocol (TSan-clean by construction): all transactional
+// data moves through 8-byte-aligned granules accessed with the __atomic
+// builtins. An 8-aligned granule never spans a 16-byte orec granule, so
+// one table entry covers each access. Buffered writes carry a byte mask;
+// commit write-back merges partial-granule writes with memory under the
+// granule's orec lock (nobody else may write those bytes while it is
+// held). Reads are seqlock-consistent: load orec word, load granule,
+// acquire fence, recheck orec word.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/timebase/facade.hpp>
+#include <chronostm/util/pause.hpp>
+
+namespace chronostm {
+
+struct OrecConfig {
+    // log2 of the orec-table size; 2^16 entries * 8 bytes = 512 KiB.
+    // Smaller tables raise the false-conflict rate (see DESIGN.md for the
+    // math); the dedicated orec test shrinks this to force collisions.
+    unsigned table_bits = 16;
+    // Lazy snapshot extension on reads that find a too-new version.
+    bool read_extension = true;
+    // Spins on a foreign orec lock before aborting (no contention
+    // managers here: locked words carry no owner identity to arbitrate).
+    unsigned lock_spin = 256;
+    // Bounded retry: run() throws after this many consecutive aborts.
+    unsigned max_retries = 1'000'000;
+};
+
+namespace detail {
+
+// One buffered write: an 8-byte granule image plus the byte mask that
+// says which lanes the transaction actually wrote. POD by design so the
+// write set is a FlatVec of records by value (sortable in place).
+struct OrecWriteRec {
+    void* gran;                        // 8-aligned granule base
+    std::atomic<std::uint64_t>* orec;  // table entry guarding the granule
+    std::uint64_t value;               // mask-selected buffered bytes
+    std::uint64_t locked_word;         // unlocked word the lock replaced
+    std::uint32_t mask;                // bit i => byte i of value is live
+    std::uint32_t owner;               // 1 = this record performed the CAS
+};
+
+// Expand a byte mask (bit i) into a 64-bit lane mask (byte i).
+inline std::uint64_t orec_lane_mask(std::uint32_t m) {
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        if (m & (1u << i)) r |= std::uint64_t{0xFF} << (8 * i);
+    return r;
+}
+
+inline std::uint64_t orec_merge(std::uint64_t mem, std::uint64_t val,
+                                std::uint32_t m) {
+    if (m == 0xFFu) return val;
+    const std::uint64_t lane = orec_lane_mask(m);
+    return (mem & ~lane) | (val & lane);
+}
+
+// The orec engine's read set: an open-addressing table keyed by orec
+// pointer (one entry per distinct orec, however many granules hash to it),
+// same machinery as the TVar core's detail::ReadSet -- staged insertion so
+// a miss-then-admit costs one probe walk, generation-tagged O(1) clear,
+// shrink hysteresis against one huge transaction taxing later small ones.
+// Each entry remembers the first granule admitted under its orec so
+// aliasing by a SECOND distinct granule is observable (false-conflict
+// counter); `word` is the unlocked lock word the snapshot admitted.
+class OrecReadSet {
+ public:
+    struct Entry {
+        std::atomic<std::uint64_t>* orec;
+        std::uint64_t word;
+        const void* gran0;      // first granule admitted under this orec
+        std::uint32_t gen;      // live iff gen == OrecReadSet::gen_
+        std::uint32_t aliased;  // 1 once a second distinct granule hit
+    };
+
+    void clear() {
+        if (__builtin_expect(++gen_ == 0, 0)) hard_reset();
+        if (__builtin_expect(cap_ > 64 && size_ * 16 < cap_, 0)) {
+            if (++small_streak_ >= 128) shrink();
+        } else {
+            small_streak_ = 0;
+        }
+        size_ = 0;
+    }
+
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    // Probes for `orec`: its live entry, or nullptr with the landing slot
+    // staged for commit_stage (valid until the next probe or clear).
+    Entry* find_or_stage(std::atomic<std::uint64_t>* orec) {
+        if (__builtin_expect((size_ + 1) * 4 > cap_ * 3, 0)) grow();
+        std::size_t i = slot_of(orec);
+        for (;;) {
+            Entry& e = entries_[i];
+            if (e.gen != gen_) {
+                stage_ = i;
+                return nullptr;
+            }
+            if (e.orec == orec) return &e;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void commit_stage(std::atomic<std::uint64_t>* orec, std::uint64_t word,
+                      const void* gran0) {
+        Entry& e = entries_[stage_];
+        e.orec = orec;
+        e.word = word;
+        e.gran0 = gran0;
+        e.gen = gen_;
+        e.aliased = 0;
+        ++size_;
+    }
+
+    template <typename F>
+    bool all_of(F&& f) const {
+        for (std::size_t i = 0; i < cap_; ++i) {
+            const Entry& e = entries_[i];
+            if (e.gen == gen_ && !f(e)) return false;
+        }
+        return true;
+    }
+
+ private:
+    std::size_t slot_of(const void* key) const {
+        // Fibonacci hashing; table entries are 8-byte aligned, so shift
+        // the alignment zeros out before mixing.
+        const auto h = static_cast<std::uint64_t>(
+                           reinterpret_cast<std::uintptr_t>(key) >> 3) *
+                       0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h >> shift_) & mask_;
+    }
+
+    __attribute__((noinline)) void grow() {
+        auto old = std::move(entries_);
+        const std::size_t old_cap = cap_;
+        const std::uint32_t live = gen_;
+        cap_ = cap_ == 0 ? 64 : cap_ * 2;
+        entries_ = std::make_unique<Entry[]>(cap_);  // zeroed: gen 0 = dead
+        mask_ = cap_ - 1;
+        shift_ = 1;
+        while ((std::size_t{1} << (64 - shift_)) > cap_) ++shift_;
+        gen_ = 1;
+        for (std::size_t i = 0; i < old_cap; ++i) {
+            if (old[i].gen != live) continue;
+            std::size_t j = slot_of(old[i].orec);
+            while (entries_[j].gen == gen_) j = (j + 1) & mask_;
+            entries_[j] = old[i];
+            entries_[j].gen = gen_;
+        }
+    }
+
+    void hard_reset() {
+        for (std::size_t i = 0; i < cap_; ++i) entries_[i].gen = 0;
+        gen_ = 1;
+    }
+
+    __attribute__((noinline)) void shrink() {
+        std::size_t cap = 64;
+        while (cap < std::size_t{size_} * 8) cap *= 2;
+        cap_ = cap;
+        entries_ = std::make_unique<Entry[]>(cap_);
+        mask_ = cap_ - 1;
+        shift_ = 1;
+        while ((std::size_t{1} << (64 - shift_)) > cap_) ++shift_;
+        gen_ = 1;
+        small_streak_ = 0;
+    }
+
+    std::unique_ptr<Entry[]> entries_;
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 63;
+    std::size_t stage_ = 0;
+    std::uint32_t size_ = 0;
+    std::uint32_t gen_ = 1;
+    std::uint32_t small_streak_ = 0;
+};
+
+// Stamps this context drew from the time base itself (commit stamps and
+// livelock-defense draws), most recent first on lookup. Time-base stamps
+// are globally unique, so a version carrying one of these is this
+// thread's OWN earlier commit: it was published before the current
+// transaction began, hence certainly current when the snapshot anchor
+// was taken -- admissible with NO deviation shrink, whatever the
+// numeric gap to `upper`. This is what keeps imprecise bases (batched,
+// sharded) off the extend/abort path when a transaction re-reads what
+// its predecessor just wrote: the counter may lag the thread's own
+// stamps by up to the deviation, and without this the thread would burn
+// draws until the counter catches up with itself. Bounded ring: only
+// recent own stamps matter for that pattern. Slot value 0 doubles as
+// the pre-history initial version, which predates every snapshot and is
+// admissible by the same argument.
+class RecentStamps {
+ public:
+    void push(std::uint64_t ts) {
+        i_ = (i_ + 1) & (kN - 1);
+        v_[i_] = ts;
+    }
+
+    bool contains(std::uint64_t ts) const {
+        if (v_[i_] == ts) return true;  // common case: last commit stamp
+        for (unsigned k = 0; k < kN; ++k)
+            if (v_[k] == ts) return true;
+        return false;
+    }
+
+ private:
+    static constexpr unsigned kN = 8;
+    std::uint64_t v_[kN] = {};
+    unsigned i_ = 0;
+};
+
+// Per-thread access-set storage for the orec engine, reused across
+// attempts and transactions (same allocation-free steady state as the
+// TVar core's detail::AccessSets, which this mirrors). Write records are
+// held by value: they are fixed-size PODs, so no arena or type erasure is
+// needed.
+struct OrecAccessSets {
+    OrecReadSet reads;
+    FlatVec<OrecWriteRec> writes;
+    PtrIndex write_index;  // granule addr -> index into writes (pre-sort)
+    PtrIndex owned;        // orec -> owner-record index (commit phase only)
+
+    void reset() {
+        reads.clear();
+        writes.clear();
+        write_index.clear();
+    }
+};
+
+}  // namespace detail
+
+class OrecTransaction;
+class OrecThreadContext;
+class OrecStm;
+
+// Raw-memory transactional access, free-function spelling. `addr` may
+// point anywhere into plain structs or arrays; T must be trivially
+// copyable (values move through granule images under a seqlock).
+template <typename T>
+T tx_read(OrecTransaction& tx, const T* addr);
+template <typename T>
+void tx_write(OrecTransaction& tx, T* addr, const T& v);
+
+class OrecTransaction {
+ public:
+    using Clock = tb::ThreadClock;
+
+    OrecTransaction(const OrecTransaction&) = delete;
+    OrecTransaction& operator=(const OrecTransaction&) = delete;
+    OrecTransaction(OrecTransaction&&) = default;
+
+    // Explicit early abort: unwinds out of the user lambda; run() retries.
+    [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+    std::uint64_t snapshot_lower() const { return lower_; }
+    std::uint64_t snapshot_upper() const { return upper_; }
+
+    // Distinct orecs read / distinct granules written.
+    std::size_t read_set_size() const { return sets_->reads.size(); }
+    std::size_t write_set_size() const { return sets_->writes.size(); }
+
+    template <typename T>
+    T read(const T* addr) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "transactional reads copy raw bytes");
+        std::remove_const_t<T> out;
+        if constexpr (sizeof(T) <= 8 &&
+                      (sizeof(T) & (sizeof(T) - 1)) == 0) {
+            // Power-of-two word at its natural alignment sits inside one
+            // granule: a single validated load covers it.
+            const auto p = reinterpret_cast<std::uintptr_t>(addr);
+            if (__builtin_expect((p & (sizeof(T) - 1)) == 0, 1)) {
+                const std::uintptr_t gran = p & ~std::uintptr_t{7};
+                const std::uint64_t g =
+                    load_granule(reinterpret_cast<const void*>(gran));
+                std::memcpy(&out,
+                            reinterpret_cast<const unsigned char*>(&g) +
+                                (p - gran),
+                            sizeof(T));
+                return out;
+            }
+        }
+        read_bytes(addr, &out, sizeof(T));
+        return out;
+    }
+
+    template <typename T>
+    void write(T* addr, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "transactional writes copy raw bytes");
+        write_bytes(addr, reinterpret_cast<const unsigned char*>(&v),
+                    sizeof(T));
+    }
+
+ private:
+    friend class OrecThreadContext;
+    friend class OrecStm;
+
+    OrecTransaction(Clock& clk, const OrecConfig& cfg, OrecStm* stm,
+                    std::uint64_t dev, detail::StatsBlock* stats,
+                    detail::OrecAccessSets* sets,
+                    detail::RecentStamps* recent)
+        : clk_(clk), cfg_(cfg), stm_(stm), dev_(dev), stats_(stats),
+          sets_(sets), recent_(recent) {
+        sets_->reset();
+        upper_ = clk_.get_time();
+    }
+
+    // --- read path ------------------------------------------------------
+
+    void read_bytes(const void* addr, void* dst, std::size_t len) {
+        const auto p = reinterpret_cast<std::uintptr_t>(addr);
+        auto* out = static_cast<unsigned char*>(dst);
+        std::size_t done = 0;
+        while (done < len) {
+            const std::uintptr_t gran = (p + done) & ~std::uintptr_t{7};
+            const std::size_t off = (p + done) - gran;
+            const std::size_t n = std::min(len - done, 8 - off);
+            const std::uint64_t g =
+                load_granule(reinterpret_cast<const void*>(gran));
+            std::memcpy(out + done,
+                        reinterpret_cast<const unsigned char*>(&g) + off, n);
+            done += n;
+        }
+    }
+
+    // One granule, write set consulted first (read-after-write); partial
+    // buffered masks merge over a validated memory image, so the bytes the
+    // transaction did NOT write still come from a consistent snapshot.
+    std::uint64_t load_granule(const void* gran) {
+        const std::uint32_t wi = find_write(gran);
+        if (wi != detail::PtrIndex::kNone) {
+            const detail::OrecWriteRec& rec = sets_->writes[wi];
+            if (rec.mask == 0xFFu) return rec.value;
+            const std::uint64_t mem = load_validated(gran);
+            // find_write's staged probe may be stale after load_validated
+            // touched no write-set state; rec index stays valid.
+            return detail::orec_merge(mem, sets_->writes[wi].value,
+                                      sets_->writes[wi].mask);
+        }
+        return load_validated(gran);
+    }
+
+    // Seqlock-consistent validated load of one granule, admitting its orec
+    // to the snapshot (the orec-table twin of the TVar core's read path).
+    std::uint64_t load_validated(const void* gran);
+
+    // --- write path -----------------------------------------------------
+
+    void write_bytes(void* addr, const unsigned char* src, std::size_t len) {
+        const auto p = reinterpret_cast<std::uintptr_t>(addr);
+        std::size_t done = 0;
+        while (done < len) {
+            const std::uintptr_t gran = (p + done) & ~std::uintptr_t{7};
+            const std::size_t off = (p + done) - gran;
+            const std::size_t n = std::min(len - done, 8 - off);
+            store_granule(reinterpret_cast<void*>(gran), src + done, off, n);
+            done += n;
+        }
+    }
+
+    void store_granule(void* gran, const unsigned char* src, std::size_t off,
+                       std::size_t n);
+
+    // Inline scan while the write set is small, open-addressing index on
+    // the granule address past that -- same scheme and threshold as the
+    // TVar core. Returns an index into sets_->writes or PtrIndex::kNone
+    // (with the index's landing bucket staged for the insert that usually
+    // follows a miss).
+    std::uint32_t find_write(const void* gran) {
+        auto& ws = sets_->writes;
+        if (ws.size() <= detail::kInlineScan) {
+            for (std::uint32_t i = 0; i < ws.size(); ++i)
+                if (ws[i].gran == gran) return i;
+            return detail::PtrIndex::kNone;
+        }
+        return sets_->write_index.find_or_stage(gran);
+    }
+
+    // --- snapshot maintenance ------------------------------------------
+
+    // Move `upper` to the present if every orec read so far is unchanged
+    // (a changed or locked word means extension would break consistency).
+    bool try_extend() {
+        const std::uint64_t nu = clk_.get_time();
+        if (nu <= upper_) return false;
+        const bool intact = sets_->reads.all_of(
+            [](const detail::OrecReadSet::Entry& e) {
+                return e.orec->load(std::memory_order_acquire) == e.word;
+            });
+        if (!intact) return false;
+        upper_ = nu;
+        return true;
+    }
+
+    // Bounded wait for a foreign in-place lock to clear. No descriptor to
+    // help or kill: past the spin budget the waiter aborts itself.
+    void wait_on_locked_orec(const std::atomic<std::uint64_t>* o) {
+        std::uint64_t spins = 0;
+        while (o->load(std::memory_order_acquire) & 1u) {
+            if (++spins > cfg_.lock_spin) throw detail::AbortTx{};
+            cpu_relax();
+            // Single-CPU hosts: the lock owner cannot run unless we yield.
+            if ((spins & 63u) == 0) std::this_thread::yield();
+        }
+    }
+
+    // --- commit ---------------------------------------------------------
+
+    bool commit();
+    void rollback();
+
+    Clock& clk_;
+    const OrecConfig& cfg_;
+    OrecStm* stm_;
+    std::uint64_t dev_;
+    detail::StatsBlock* stats_;
+    detail::OrecAccessSets* sets_;
+    detail::RecentStamps* recent_;
+    std::uint64_t lower_ = 0;
+    std::uint64_t upper_ = 0;
+    bool writes_sorted_ = false;
+};
+
+// Per-thread handle: thread clock, stats block, pooled access sets. One
+// context per thread, one live transaction per context.
+class OrecThreadContext {
+ public:
+    using Clock = tb::ThreadClock;
+
+    // Runs `f` as a transaction until it commits, with bounded retry and
+    // exponential backoff; passes f's return value through.
+    template <typename F>
+    auto run(F&& f) {
+        using R = std::invoke_result_t<F&, OrecTransaction&>;
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                OrecTransaction tx = txn_begin();
+                if constexpr (std::is_void_v<R>) {
+                    f(tx);
+                    if (txn_commit(tx)) return;
+                } else {
+                    R r = f(tx);
+                    if (txn_commit(tx)) return r;
+                }
+            } catch (const detail::AbortTx&) {
+                stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (attempt + 1 >= cfg_.max_retries)
+                throw std::runtime_error(
+                    "chronostm: orec transaction exceeded retry bound");
+            // Same livelock defense as the TVar core: a counter whose time
+            // only moves when stamps are drawn (batched/sharded) must see
+            // a draw during an abort storm, or snapshots never reach the
+            // present and freshness aborts repeat forever.
+            if (attempt >= 1) recent_.push(clk_.get_new_ts());
+            detail::backoff(attempt,
+                            reinterpret_cast<std::uintptr_t>(stats_.get()));
+        }
+    }
+
+    OrecTransaction txn_begin() {
+        return OrecTransaction(clk_, cfg_, stm_, dev_, stats_.get(),
+                               &sets_, &recent_);
+    }
+
+    bool txn_commit(OrecTransaction& tx) {
+        if (tx.commit()) {
+            stats_->commits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    TxStats stats() const {
+        return TxStats(
+            stats_->commits.load(std::memory_order_relaxed),
+            stats_->aborts.load(std::memory_order_relaxed), 0, 0,
+            stats_->false_conflicts.load(std::memory_order_relaxed));
+    }
+
+ private:
+    friend class OrecStm;
+
+    OrecThreadContext(Clock clk, const OrecConfig& cfg, OrecStm* stm,
+                      std::uint64_t dev,
+                      std::shared_ptr<detail::StatsBlock> stats)
+        : clk_(std::move(clk)), cfg_(cfg), stm_(stm), dev_(dev),
+          stats_(std::move(stats)) {}
+
+    Clock clk_;
+    OrecConfig cfg_;
+    OrecStm* stm_;
+    std::uint64_t dev_;
+    std::shared_ptr<detail::StatsBlock> stats_;
+    detail::OrecAccessSets sets_;
+    detail::RecentStamps recent_;
+};
+
+class OrecStm {
+ public:
+    static constexpr unsigned kOrecShift = 4;  // 16-byte orec granules
+
+    explicit OrecStm(tb::TimeBase tbase, OrecConfig cfg = OrecConfig{})
+        : tbase_(std::move(tbase)), cfg_(cfg) {
+        if (cfg_.table_bits < 2) cfg_.table_bits = 2;
+        if (cfg_.table_bits > 26) cfg_.table_bits = 26;
+        const std::size_t n = std::size_t{1} << cfg_.table_bits;
+        mask_ = n - 1;
+        // Value-initialized: every orec starts unlocked at version 0.
+        table_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    }
+
+    OrecStm(const OrecStm&) = delete;
+    OrecStm& operator=(const OrecStm&) = delete;
+
+    // The shift+mask metadata lookup the engine exists for. Consecutive
+    // 16-byte data granules map to consecutive table entries, so the four
+    // orecs guarding one 64-byte data line share one table line (array
+    // scans stay local); distinct data lines land on distinct table lines.
+    std::atomic<std::uint64_t>* orec_of(const void* p) {
+        return &table_[(reinterpret_cast<std::uintptr_t>(p) >> kOrecShift) &
+                       mask_];
+    }
+
+    OrecThreadContext make_context() {
+        auto block = std::make_shared<detail::StatsBlock>();
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            blocks_.push_back(block);
+        }
+        // Pairwise stamp uncertainty: both the version's stamp and the
+        // snapshot's stamp may deviate by the published bound.
+        return OrecThreadContext(tbase_.make_thread_clock(), cfg_, this,
+                                 2 * tbase_.deviation(), std::move(block));
+    }
+
+    TxStats collected_stats() const {
+        std::uint64_t c = 0, a = 0, fc = 0;
+        std::lock_guard<std::mutex> g(mu_);
+        for (const auto& b : blocks_) {
+            c += b->commits.load(std::memory_order_relaxed);
+            a += b->aborts.load(std::memory_order_relaxed);
+            fc += b->false_conflicts.load(std::memory_order_relaxed);
+        }
+        return TxStats(c, a, 0, 0, fc);
+    }
+
+    const OrecConfig& config() const { return cfg_; }
+    std::size_t table_size() const { return mask_ + 1; }
+    tb::TimeBase& time_base() { return tbase_; }
+
+ private:
+    tb::TimeBase tbase_;
+    OrecConfig cfg_;
+    std::size_t mask_ = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
+};
+
+inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
+    auto* o = stm_->orec_of(gran);
+    // Read-after-read dedup keyed by orec: a duplicate re-delivers under
+    // the admitted word; a miss leaves the landing slot staged so
+    // admission below is one store.
+    auto* dup = sets_->reads.find_or_stage(o);
+    for (;;) {
+        std::uint64_t w1 = o->load(std::memory_order_acquire);
+        if (w1 & 1u) {
+            wait_on_locked_orec(o);
+            continue;
+        }
+        const std::uint64_t wv = w1 >> 1;
+        // Validity of the current version starts at wv, shrunk by the
+        // pairwise stamp uncertainty dev_ -- identical to the TVar core.
+        // A stamp this context itself drew before the transaction began
+        // carries no uncertainty at all: it is this thread's own earlier
+        // commit (stamps are unique), already current when the snapshot
+        // anchor was taken, so it is admissible regardless of the
+        // numeric gap -- the escape hatch that keeps a thread re-reading
+        // its own writes off the extend/abort path under imprecise bases.
+        const bool fresh = wv + dev_ <= upper_;
+        if (fresh || recent_->contains(wv)) {
+            const std::uint64_t v = __atomic_load_n(
+                static_cast<const std::uint64_t*>(gran), __ATOMIC_ACQUIRE);
+            // Seqlock recheck; pairs with the release fence before the
+            // data stores in commit().
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (o->load(std::memory_order_acquire) != w1) continue;
+            if (dup != nullptr) {
+                // A word that changed since admission means snapshot
+                // damage; refuse (same reasoning as the TVar core).
+                if (dup->word != w1) throw detail::AbortTx{};
+                if (dup->gran0 != gran && !dup->aliased) {
+                    // Second distinct granule under one orec: table
+                    // aliasing observed on the read path.
+                    dup->aliased = 1;
+                    stats_->false_conflicts.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                return v;
+            }
+            // Own-stamp admissions contribute no lower-bound constraint:
+            // the version's real validity began before this snapshot.
+            if (fresh) lower_ = std::max(lower_, wv + dev_);
+            sets_->reads.commit_stage(o, w1, gran);
+            return v;
+        }
+        // Too new for the snapshot: extend to the present (revalidating
+        // the read set) and retry. No multi-version fallback here -- the
+        // orec table keeps no history -- so failure to extend is an abort.
+        if (cfg_.read_extension && try_extend()) continue;
+        throw detail::AbortTx{};
+    }
+}
+
+inline void OrecTransaction::store_granule(void* gran,
+                                           const unsigned char* src,
+                                           std::size_t off, std::size_t n) {
+    const std::uint32_t m =
+        n == 8 ? 0xFFu : ((1u << n) - 1u) << off;
+    const std::uint32_t wi = find_write(gran);
+    if (wi != detail::PtrIndex::kNone) {
+        // Write-after-write: merge into the buffered image in place.
+        detail::OrecWriteRec& rec = sets_->writes[wi];
+        std::memcpy(reinterpret_cast<unsigned char*>(&rec.value) + off, src,
+                    n);
+        rec.mask |= m;
+        return;
+    }
+    detail::OrecWriteRec rec{};
+    rec.gran = gran;
+    rec.orec = stm_->orec_of(gran);
+    std::memcpy(reinterpret_cast<unsigned char*>(&rec.value) + off, src, n);
+    rec.mask = m;
+    auto& ws = sets_->writes;
+    ws.push_back(rec);
+    if (ws.size() == detail::kInlineScan + 1) {
+        // Crossed the inline threshold: index everything accumulated.
+        for (std::uint32_t i = 0; i < ws.size(); ++i)
+            sets_->write_index.insert(ws[i].gran, i);
+    } else if (ws.size() > detail::kInlineScan + 1) {
+        // find_write just missed on this key: its staged bucket is ours.
+        sets_->write_index.commit_stage(gran, ws.size() - 1);
+    }
+    writes_sorted_ = false;
+}
+
+// Commit: lock the write set's orecs in granule-address order (in-place
+// bit set, version preserved), draw the commit stamp AFTER the last lock,
+// validate the read set exactly (words, not clocks), then publish data
+// and release every orec with the new version.
+inline bool OrecTransaction::commit() {
+    auto& ws = sets_->writes;
+    if (ws.empty()) return true;  // snapshot reads are consistent as-is
+
+    if (!writes_sorted_) {
+        std::sort(ws.begin(), ws.end(),
+                  [](const detail::OrecWriteRec& a,
+                     const detail::OrecWriteRec& b) {
+                      return a.gran < b.gran;
+                  });
+        writes_sorted_ = true;
+    }
+
+    // Lock phase. Granule-address order is deterministic across
+    // transactions; two granules of one transaction may still share an
+    // orec (table aliasing), which the ownership index turns into a
+    // single lock acquisition instead of a self-deadlock.
+    auto& owned = sets_->owned;
+    owned.clear();
+    try {
+        for (std::uint32_t i = 0; i < ws.size(); ++i) {
+            detail::OrecWriteRec& rec = ws[i];
+            const std::uint32_t prev = owned.find_or_stage(rec.orec);
+            if (prev != detail::PtrIndex::kNone) {
+                // Already locked by an earlier record of this commit:
+                // distinct granules aliasing one orec.
+                rec.locked_word = ws[prev].locked_word;
+                rec.owner = 0;
+                stats_->false_conflicts.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                continue;
+            }
+            for (;;) {
+                std::uint64_t w = rec.orec->load(std::memory_order_relaxed);
+                if (w & 1u) {
+                    wait_on_locked_orec(rec.orec);
+                    continue;
+                }
+                if (rec.orec->compare_exchange_weak(
+                        w, w | 1u, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    rec.locked_word = w;
+                    rec.owner = 1;
+                    owned.commit_stage(rec.orec, i);
+                    break;
+                }
+            }
+        }
+    } catch (const detail::AbortTx&) {
+        rollback();
+        return false;
+    }
+
+    // Locks held: draw the commit timestamp. Drawn after the LAST lock --
+    // a pre-lock stamp would let a fresh reader accept these writes inside
+    // a snapshot that still contains pre-lock state. Recorded as an own
+    // stamp either way: uniqueness means no foreign version can ever
+    // carry it, so recording a stamp of a failed commit is inert.
+    const std::uint64_t commit_ts = clk_.get_new_ts();
+    recent_->push(commit_ts);
+
+    const bool reads_valid = sets_->reads.all_of(
+        [&](const detail::OrecReadSet::Entry& e) {
+            const std::uint64_t cur =
+                e.orec->load(std::memory_order_acquire);
+            if (cur == e.word) return true;
+            if (cur == (e.word | 1u)) {
+                // Same version, lock bit set. A foreign committer locking
+                // in place would present the same word, so ownership is
+                // decided by this commit's own index, never the word.
+                const std::uint32_t i = owned.find_or_stage(e.orec);
+                if (i != detail::PtrIndex::kNone &&
+                    ws[i].locked_word == e.word)
+                    return true;
+            }
+            return false;
+        });
+    if (!reads_valid || lower_ > commit_ts) {
+        rollback();
+        return false;
+    }
+
+    // One stamp for the whole write set, bumped above every locked
+    // version for per-orec monotonicity under coarse or tied stamps.
+    std::uint64_t new_ts = commit_ts;
+    for (const auto& rec : ws)
+        if (rec.owner)
+            new_ts = std::max(new_ts, (rec.locked_word >> 1) + 1);
+
+    // Publish. The release fence keeps the lock CASes above ordered
+    // before the data stores; the final release stores on the orecs make
+    // data visible before the version that admits it (seqlock writer
+    // side). Partial-granule records merge with memory -- safe because
+    // this thread holds the granule's orec, so nobody else may write any
+    // byte of it until the release below.
+    std::atomic_thread_fence(std::memory_order_release);
+    for (const auto& rec : ws) {
+        auto* gp = static_cast<std::uint64_t*>(rec.gran);
+        if (rec.mask == 0xFFu) {
+            __atomic_store_n(gp, rec.value, __ATOMIC_RELAXED);
+        } else {
+            const std::uint64_t cur = __atomic_load_n(gp, __ATOMIC_RELAXED);
+            __atomic_store_n(gp,
+                             detail::orec_merge(cur, rec.value, rec.mask),
+                             __ATOMIC_RELAXED);
+        }
+    }
+    for (const auto& rec : ws)
+        if (rec.owner)
+            rec.orec->store(new_ts << 1, std::memory_order_release);
+    return true;
+}
+
+// Abort path: restore the saved word on every orec this commit actually
+// locked (owner records only; aliased duplicates never performed a CAS).
+inline void OrecTransaction::rollback() {
+    auto& ws = sets_->writes;
+    for (std::uint32_t i = 0; i < ws.size(); ++i)
+        if (ws[i].owner)
+            ws[i].orec->store(ws[i].locked_word, std::memory_order_release);
+}
+
+// Typed raw-memory wrapper: a plain T, 8-aligned so the value sits inside
+// one granule, accessed through the orec table like any other address.
+// The var itself carries NO metadata -- sizeof(WordVar<T>) is 8 -- which
+// is the whole point of the engine.
+template <typename T>
+class WordVar {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "WordVar<T> requires a trivially copyable T of at most 8 "
+                  "bytes; use raw structs with tx_read/tx_write for wider "
+                  "data");
+
+ public:
+    explicit WordVar(T initial) : v_(initial) {}
+    WordVar(const WordVar&) = delete;
+    WordVar& operator=(const WordVar&) = delete;
+
+    T get(OrecTransaction& tx) const { return tx.read(&v_); }
+    void set(OrecTransaction& tx, T v) { tx.write(&v_, v); }
+
+    // Non-transactional read for post-run invariant checks (quiesced
+    // state only). Goes through the containing granule's atomic load so
+    // the engine's racing granule stores stay data-race-free under TSan.
+    T unsafe_peek() const {
+        const std::uint64_t g = __atomic_load_n(
+            reinterpret_cast<const std::uint64_t*>(&v_), __ATOMIC_ACQUIRE);
+        T out;
+        std::memcpy(&out, &g, sizeof(T));
+        return out;
+    }
+
+    T* raw() { return &v_; }
+    const T* raw() const { return &v_; }
+
+ private:
+    alignas(8) mutable T v_;
+};
+
+template <typename T>
+inline T tx_read(OrecTransaction& tx, const T* addr) {
+    return tx.read(addr);
+}
+template <typename T>
+inline void tx_write(OrecTransaction& tx, T* addr, const T& v) {
+    tx.write(addr, v);
+}
+
+}  // namespace chronostm

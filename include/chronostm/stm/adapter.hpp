@@ -28,6 +28,11 @@
 //                         tb::make("batched:B=16")), with multi-version
 //                         history, commit helping, and pluggable
 //                         contention managers (StmConfig).
+//   * OrecAdapter      -- LSA over a global orec table (core/orec_stm.hpp):
+//                         raw-memory words hashed to versioned locks by
+//                         (addr >> 4) & mask, same time-base facade and
+//                         snapshot extension, single-version, no helping.
+//                         Var<T> is the metadata-free WordVar<T>.
 //   * Tl2Adapter       -- single-version, global-version-clock TL2.
 //   * VstmAdapter      -- validation-based STM, +- commit-counter
 //                         heuristic (VstmConfig).
@@ -39,6 +44,7 @@
 #include <utility>
 
 #include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/core/orec_stm.hpp>
 #include <chronostm/stm/baselines/global_lock.hpp>
 #include <chronostm/stm/baselines/tl2.hpp>
 #include <chronostm/stm/baselines/vstm.hpp>
@@ -117,6 +123,81 @@ class LsaAdapter {
 
  private:
     LsaStm stm_;
+};
+
+// The orec-table engine behind the same facade: Var<T> resolves to the
+// metadata-free WordVar<T> (any word the engine can hash, wrapped for the
+// workloads' var-based spelling; drivers that want raw structs or arrays
+// use tx_read/tx_write on the Txn's inner() transaction directly).
+class OrecAdapter {
+ public:
+    static constexpr const char* kEngineName = "orec";
+
+    template <typename T>
+    using Var = WordVar<T>;
+
+    class Txn {
+     public:
+        explicit Txn(OrecTransaction& tx) : tx_(tx) {}
+
+        template <typename T>
+        T read(Var<T>& var) {
+            return var.get(tx_);
+        }
+
+        template <typename T>
+        void write(Var<T>& var, T v) {
+            var.set(tx_, std::move(v));
+        }
+
+        [[noreturn]] void abort() { tx_.abort(); }
+
+        OrecTransaction& inner() { return tx_; }
+
+     private:
+        OrecTransaction& tx_;
+    };
+
+    class Context {
+     public:
+        TxStats stats() const { return inner_.stats(); }
+        OrecThreadContext& inner() { return inner_; }
+
+     private:
+        friend class OrecAdapter;
+        explicit Context(OrecThreadContext inner)
+            : inner_(std::move(inner)) {}
+        OrecThreadContext inner_;
+    };
+
+    explicit OrecAdapter(tb::TimeBase tbase, OrecConfig cfg = OrecConfig{})
+        : stm_(std::move(tbase), cfg) {}
+    OrecAdapter(const OrecAdapter&) = delete;
+    OrecAdapter& operator=(const OrecAdapter&) = delete;
+
+    Context make_context() { return Context(stm_.make_context()); }
+
+    OrecTransaction txn_begin(Context& ctx) {
+        return ctx.inner_.txn_begin();
+    }
+
+    bool txn_commit(Context& ctx, OrecTransaction& tx) {
+        return ctx.inner_.txn_commit(tx);
+    }
+
+    template <typename F>
+    auto run(Context& ctx, F&& f) {
+        return ctx.inner_.run([&](OrecTransaction& tx) {
+            Txn handle(tx);
+            return f(handle);
+        });
+    }
+
+    OrecStm& stm() { return stm_; }
+    TxStats collected_stats() const { return stm_.collected_stats(); }
+
+ private:
+    OrecStm stm_;
 };
 
 }  // namespace stm

@@ -56,8 +56,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include <chronostm/timebase/common.hpp>
+#include <chronostm/util/affinity.hpp>
 
 namespace chronostm {
 namespace tb {
@@ -69,6 +71,18 @@ namespace detail {
 struct alignas(64) ShardLine {
     std::atomic<std::uint64_t> value{0};
 };
+
+// Contiguous partition of `shards` shard indices into `nodes` groups:
+// group g covers [shards*g/nodes, shards*(g+1)/nodes). Sizes differ by at
+// most one and every shard belongs to exactly one group; a group may be
+// empty when shards < nodes (callers fall back to global assignment
+// then). Returns {base, size}.
+inline std::pair<std::uint64_t, std::uint64_t> shard_group(
+    std::uint64_t node, std::uint64_t nodes, std::uint64_t shards) {
+    const std::uint64_t base = shards * node / nodes;
+    const std::uint64_t end = shards * (node + 1) / nodes;
+    return {base, end - base};
+}
 
 // Raise `a` to at least `floor` (atomic max via CAS; no-op when already
 // past it). Used for shard catch-up and watermark publication.
@@ -135,14 +149,24 @@ class ShardedCounterTimeBase {
                                     std::uint64_t band = 4)
         : nshards_(shards == 0 ? 1 : shards),
           band_(band == 0 ? 1 : band),
-          shards_(std::make_unique<detail::ShardLine[]>(nshards_)) {}
+          shards_(std::make_unique<detail::ShardLine[]>(nshards_)),
+          node_next_(std::make_unique<detail::ShardLine[]>(
+              static_cast<std::uint64_t>(numa_node_count()))) {}
     ShardedCounterTimeBase(const ShardedCounterTimeBase&) = delete;
     ShardedCounterTimeBase& operator=(const ShardedCounterTimeBase&) = delete;
 
+    // Thread -> shard by CPU topology: shards are partitioned into
+    // contiguous per-NUMA-node groups and a thread draws round-robin
+    // within its node's group, so a shard's counter line only ever
+    // bounces between cores of one memory domain (a cross-socket RMW
+    // costs several times a local one). Falls back to the PR 5 global
+    // round-robin when topology is unavailable, on single-node hosts, or
+    // when there are fewer shards than nodes. Any thread->shard map is
+    // CORRECT (uniqueness and the deviation bound never depend on the
+    // assignment); this is purely a locality play.
     ThreadClock make_thread_clock() {
-        const auto n = next_.fetch_add(1, std::memory_order_relaxed);
-        return ThreadClock(shards_.get(), &watermark_, n % nshards_, nshards_,
-                           band_);
+        return ThreadClock(shards_.get(), &watermark_, pick_shard(),
+                           nshards_, band_);
     }
 
     // Centered bound over the emission check's one-sided lag of < K*S + S
@@ -156,9 +180,27 @@ class ShardedCounterTimeBase {
     std::uint64_t band() const { return band_; }
 
  private:
+    std::uint64_t pick_shard() {
+        const int node = numa_node_of_cpu(current_cpu());
+        const auto nodes = static_cast<std::uint64_t>(numa_node_count());
+        if (node >= 0 && nodes > 1 && nshards_ >= nodes) {
+            const auto [base, size] = detail::shard_group(
+                static_cast<std::uint64_t>(node), nodes, nshards_);
+            if (size > 0) {
+                const auto k = node_next_[node].value.fetch_add(
+                    1, std::memory_order_relaxed);
+                return base + k % size;
+            }
+        }
+        return next_.fetch_add(1, std::memory_order_relaxed) % nshards_;
+    }
+
     const std::uint64_t nshards_;
     const std::uint64_t band_;
     std::unique_ptr<detail::ShardLine[]> shards_;
+    // Per-node round-robin cursors (reuses the padded line type so
+    // cursors on different nodes never share a line).
+    std::unique_ptr<detail::ShardLine[]> node_next_;
     alignas(64) std::atomic<std::uint64_t> watermark_{0};
     alignas(64) std::atomic<std::uint64_t> next_{0};
 };

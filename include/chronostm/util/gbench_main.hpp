@@ -1,8 +1,9 @@
 // Shared main() for the google-benchmark drivers so they speak the same
-// --json=<path> and --timebase=<spec> dialect as the table drivers: --json
-// is rewritten into google-benchmark's --benchmark_out=<path>
-// --benchmark_out_format=json and --timebase (consumed separately via
-// extract_timebase_flag, before RegisterBenchmark) is dropped before
+// --json=<path>, --timebase=<spec>, and --engine=<name> dialect as the
+// table drivers: --json is rewritten into google-benchmark's
+// --benchmark_out=<path> --benchmark_out_format=json, while --timebase
+// and --engine (consumed separately via extract_timebase_flag /
+// extract_engine_flag, before RegisterBenchmark) are dropped before
 // Initialize sees the command line. Everything else passes through
 // untouched.
 
@@ -28,6 +29,18 @@ inline std::string extract_timebase_flag(int argc, char** argv) {
     return std::string();
 }
 
+// Reads the uniform --engine flag the same way ("lsa" when absent);
+// drivers use it to pick which engine backs their dynamic rows. Dropped
+// before google-benchmark parses the rest, like --timebase.
+inline std::string extract_engine_flag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--engine=", 0) == 0) return a.substr(9);
+        if (a == "--engine" && i + 1 < argc) return argv[i + 1];
+    }
+    return "lsa";
+}
+
 inline int gbench_main_with_json(int argc, char** argv) {
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc) + 2);
@@ -42,6 +55,10 @@ inline int gbench_main_with_json(int argc, char** argv) {
         } else if (a.rfind("--timebase=", 0) == 0) {
             // consumed by extract_timebase_flag
         } else if (a == "--timebase" && i + 1 < argc) {
+            ++i;
+        } else if (a.rfind("--engine=", 0) == 0) {
+            // consumed by extract_engine_flag
+        } else if (a == "--engine" && i + 1 < argc) {
             ++i;
         } else {
             args.push_back(a);

@@ -54,6 +54,28 @@ inline long find_timebase_spec(const std::vector<std::string>& specs,
     return -1;
 }
 
+// Engine selection is uniform like time-base selection: flag_engine
+// declares --engine= on drivers whose measurement is engine-agnostic
+// (both engines run LSA over the tb facade; the orec engine swaps
+// per-TVar metadata for the global orec table). validate_engine_flag
+// fails loudly on typos right after parse.
+inline Cli& flag_engine(Cli& cli, const std::string& def = "lsa") {
+    return cli.flag_str(
+        "engine", def,
+        "STM engine: lsa (per-TVar LSA-RT) or orec (orec-table word STM)");
+}
+
+inline bool engine_is_orec(const Cli& cli) {
+    return cli.str("engine") == "orec";
+}
+
+inline void validate_engine_flag(const Cli& cli) {
+    const std::string& e = cli.str("engine");
+    if (e != "lsa" && e != "orec")
+        throw std::invalid_argument(
+            "unknown --engine '" + e + "' (expected: lsa, orec)");
+}
+
 
 struct RunSpec {
     unsigned threads = 1;

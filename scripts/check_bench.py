@@ -14,6 +14,18 @@ core count and cache topology, so they don't compare across hosts. A
 benchmark present in the baseline but missing from the current run fails
 the gate (coverage loss must update the baseline in the same PR).
 
+Two more SAME-RUN gates ride on the micro_stm blob. --orec-tolerance pairs
+every BM_Orec_<X> row with its per-TVar LSA twin BM_<X> (drop "Orec_"):
+the orec engine runs the identical workload through the same time base, so
+the ratio isolates what the orec table costs over per-var metadata --
+ISSUE acceptance says within 1.15x on the read-only and update shapes.
+--tl2-margin checks the paper-facing ordering: BM_Orec_Update_Batched8
+must beat its BM_Tl2_Update counterpart (both pay per-location versioned
+locks; orec draws stamps from the batched scalable counter instead of a
+CAS on the global clock, which is the whole point of the comparison).
+Rows without a counterpart in the run are skipped, not failed -- the
+cross-run MISSING check still protects against silently dropping them.
+
 In addition to the cross-run regression gate, --facade-tolerance gates the
 time-base facade's dispatch overhead WITHIN the current run: every
 BM_Facade_<X> row is paired with its direct-template twin BM_<X> from the
@@ -89,6 +101,15 @@ def main():
                          "swamps the RELATIVE ratio on near-empty "
                          "operations while the absolute effect stays "
                          "covered by the micro_stm end-to-end gate")
+    ap.add_argument("--orec-tolerance", type=float, default=1.15,
+                    help="fail when a BM_Orec_<X> row exceeds this ratio "
+                         "of its per-TVar LSA twin BM_<X> in the SAME run "
+                         "(default: 1.15, the ISSUE acceptance bound)")
+    ap.add_argument("--tl2-margin", type=float, default=1.0,
+                    help="fail when BM_Orec_Update_Batched8 exceeds this "
+                         "ratio of its BM_Tl2_Update counterpart in the "
+                         "SAME run (default: 1.0 -- orec on the batched "
+                         "time base must outright beat TL2)")
     ap.add_argument("--gate-threads", action="store_true",
                     help="also gate multi-threaded (/threads:N) rows. Off "
                          "by default: contended costs are machine-shaped "
@@ -171,6 +192,56 @@ def main():
                 regressions += 1
             compared += 1
             print(f"  {name:<44} {direct:>10.2f} {erased:>10.2f} "
+                  f"{ratio:>6.2f}x  {verdict}")
+
+        # Orec-vs-LSA gate: same-run BM_Orec_<X> vs BM_<X> pairs. The
+        # batched-time-base row has no LSA twin (its counterpart is TL2,
+        # gated below), so unpaired rows are simply not listed here.
+        orec_pairs = sorted(
+            n for n in cur
+            if n.startswith("BM_Orec_") and
+            "BM_" + n[len("BM_Orec_"):] in cur)
+        if orec_pairs:
+            print(f"\n{driver} orec vs per-TVar LSA "
+                  f"(tolerance {args.orec_tolerance:g}x, same run):")
+            print(f"  {'benchmark':<44} {'lsa ns':>10} {'orec ns':>10} "
+                  f"{'ratio':>7}")
+        for name in orec_pairs:
+            lsa = cur["BM_" + name[len("BM_Orec_"):]]
+            orec = cur[name]
+            if lsa <= 0:
+                continue
+            ratio = orec / lsa
+            verdict = ("REGRESSION" if ratio > args.orec_tolerance
+                       else "ok")
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {lsa:>10.2f} {orec:>10.2f} "
+                  f"{ratio:>6.2f}x  {verdict}")
+
+        # Orec-beats-TL2 gate: the paper-facing ordering, same run.
+        tl2_pairs = sorted(
+            n for n in cur
+            if n.startswith("BM_Orec_Update_Batched8") and
+            "BM_Tl2_Update" + n[len("BM_Orec_Update_Batched8"):] in cur)
+        if tl2_pairs:
+            print(f"\n{driver} orec/batched vs TL2 "
+                  f"(margin {args.tl2_margin:g}x, same run):")
+            print(f"  {'benchmark':<44} {'tl2 ns':>10} {'orec ns':>10} "
+                  f"{'ratio':>7}")
+        for name in tl2_pairs:
+            tl2 = cur["BM_Tl2_Update" +
+                      name[len("BM_Orec_Update_Batched8"):]]
+            orec = cur[name]
+            if tl2 <= 0:
+                continue
+            ratio = orec / tl2
+            verdict = "REGRESSION" if ratio > args.tl2_margin else "ok"
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {tl2:>10.2f} {orec:>10.2f} "
                   f"{ratio:>6.2f}x  {verdict}")
 
         print(f"\n{driver} (tolerance {args.tolerance:g}x):")

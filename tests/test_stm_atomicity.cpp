@@ -9,9 +9,11 @@
 //    ExtSync base, cross-checking the commit count against the work
 //    actually submitted;
 //  * the stm/adapter.hpp facade, over every engine behind it -- LSA-RT,
-//    TL2, the validation STM with and without the commit-counter
-//    heuristic, and the global lock -- so all comparison baselines pass
-//    the same atomicity bar as the paper's system.
+//    the orec-table engine (over the full CI time-base matrix plus the
+//    CHRONOSTM_TIMEBASE spec), TL2, the validation STM with and without
+//    the commit-counter heuristic, and the global lock -- so all
+//    comparison baselines pass the same atomicity bar as the paper's
+//    system.
 //
 // The CHRONOSTM_TIMEBASE env var (CI's tier-1 time-base sweep) adds one
 // more registry spec to the core pass.
@@ -19,6 +21,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -136,12 +139,25 @@ int main() {
         check_bank(tb::TimeBase::wrap(*tbase), "ExtSync(dev=10us)");
     }
 
-    // Every engine behind the facade passes the same suite.
+    // Every engine behind the facade passes the same suite. The orec
+    // engine runs the CI tier-1 time-base matrix (same specs as the core
+    // pass) -- its commit protocol touches the time base at the same
+    // points, so an imprecise base must cost only retries there too.
     for (const char* spec : {"shared", "perfect", "batched:B=64",
                              "sharded:S=2,K=4", "adaptive:S=2"}) {
         stm::LsaAdapter a(tb::make(spec));
         check_bank_facade(a, spec);
     }
+    for (const char* spec : {"shared", "perfect", "batched:B=8",
+                             "sharded:S=4,K=8", "adaptive:S=4,B=8,L=16"}) {
+        stm::OrecAdapter a(tb::make(spec));
+        check_bank_facade(a, (std::string("orec/") + spec).c_str());
+    }
+    if (const char* env = std::getenv("CHRONOSTM_TIMEBASE"))
+        for (const auto& spec : tb::split_specs(env)) {
+            stm::OrecAdapter a(tb::make(spec));
+            check_bank_facade(a, ("orec/" + spec).c_str());
+        }
     {
         stm::Tl2Adapter a;
         check_bank_facade(a, "TL2");
@@ -168,6 +184,17 @@ int main() {
         TVar<long> v(5);
         auto tx = a.txn_begin(ctx);
         stm::LsaAdapter::Txn h(tx);
+        h.write(v, h.read(v) + 1);
+        CHECK(a.txn_commit(ctx, tx));
+        CHECK(v.unsafe_peek() == 6);
+        CHECK(ctx.stats().commits() == 1);
+    }
+    {
+        stm::OrecAdapter a(tb::make("shared"));
+        auto ctx = a.make_context();
+        stm::OrecAdapter::Var<long> v(5);
+        auto tx = a.txn_begin(ctx);
+        stm::OrecAdapter::Txn h(tx);
         h.write(v, h.read(v) + 1);
         CHECK(a.txn_commit(ctx, tx));
         CHECK(v.unsafe_peek() == 6);

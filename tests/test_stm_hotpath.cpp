@@ -139,6 +139,62 @@ void check_large_update_txns_concurrent() {
           static_cast<std::uint64_t>(kThreads) * kTxPerThread);
 }
 
+// Word-sized TVars embed their version ring in the var itself; payloads
+// wider than a granule keep the lazily heap-allocated ring. TVar<long>
+// tests above cover the embedded path, so this covers the heap path:
+// a 16-byte payload under concurrent update/read must never tear and the
+// lazy ring must allocate safely under racing first commits.
+struct WidePair {
+    long a;
+    long b;
+};
+
+void check_wide_tvar_payload() {
+    static_assert(sizeof(WidePair) > 8, "must take the heap-history path");
+    LsaStm stm(tb::make("shared"));
+    constexpr long kTotal = 100;
+    TVar<WidePair> v(WidePair{kTotal / 2, kTotal / 2});
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 2; ++w) {
+        threads.emplace_back([&, w] {
+            auto ctx = stm.make_context();
+            Rng rng(w * 41 + 3);
+            while (!stop.load(std::memory_order_acquire)) {
+                const long amt = static_cast<long>(rng.below(7)) + 1;
+                ctx.run([&](Tx& tx) {
+                    WidePair p = v.get(tx);
+                    p.a -= amt;
+                    p.b += amt;
+                    v.set(tx, p);
+                });
+            }
+        });
+    }
+    for (int r = 0; r < 2; ++r) {
+        threads.emplace_back([&] {
+            auto ctx = stm.make_context();
+            while (!stop.load(std::memory_order_acquire)) {
+                ctx.run([&](Tx& tx) {
+                    const WidePair p = v.get(tx);
+                    if (p.a + p.b != kTotal)
+                        violations.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+
+    CHECK_MSG(violations.load() == 0, "%d torn wide reads",
+              violations.load());
+    const WidePair fin = v.unsafe_peek();
+    CHECK(fin.a + fin.b == kTotal);
+}
+
 void check_batched_counter_stamps() {
     tb::BatchedCounterTimeBase tbase(8);
     CHECK(tbase.block_size() == 8);
@@ -225,6 +281,7 @@ int main() {
     check_write_set_past_threshold();
     check_read_dedup();
     check_large_update_txns_concurrent();
+    check_wide_tvar_payload();
     check_batched_counter_stamps();
     check_batched_counter_snapshots();
     std::printf("test_stm_hotpath: PASS\n");

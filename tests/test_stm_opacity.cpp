@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -158,12 +159,24 @@ int main() {
         for (const auto& spec : tb::split_specs(env))
             check_opacity_core(tb::make(spec), spec.c_str(), 150, 2, 2);
 
-    // Every engine behind the facade passes the same bar.
+    // Every engine behind the facade passes the same bar. The orec engine
+    // sweeps the CI tier-1 time-base matrix: its seqlock-style reads must
+    // stay opaque whatever base supplies the snapshot interval.
     for (const char* spec :
          {"shared", "batched:B=16", "sharded:S=2,K=8", "adaptive:S=2"}) {
         stm::LsaAdapter a(tb::make(spec));
         check_opacity_facade(a, spec, 150);
     }
+    for (const char* spec : {"shared", "perfect", "batched:B=8",
+                             "sharded:S=4,K=8", "adaptive:S=4,B=8,L=16"}) {
+        stm::OrecAdapter a(tb::make(spec));
+        check_opacity_facade(a, (std::string("orec/") + spec).c_str(), 150);
+    }
+    if (const char* env = std::getenv("CHRONOSTM_TIMEBASE"))
+        for (const auto& spec : tb::split_specs(env)) {
+            stm::OrecAdapter a(tb::make(spec));
+            check_opacity_facade(a, ("orec/" + spec).c_str(), 150);
+        }
     {
         stm::Tl2Adapter a;
         check_opacity_facade(a, "TL2", 150);

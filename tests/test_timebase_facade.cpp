@@ -147,6 +147,46 @@ void check_wrap_external() {
     CHECK(toy.c.load() == 3);
 }
 
+// NUMA-aware shard assignment rests on shard_group's partition: every
+// shard in exactly one node group, group sizes within one of each other,
+// and graceful emptiness when shards < nodes (callers then fall back to
+// the global round-robin). Any thread->shard map is CORRECT; this pins
+// down the partition math the locality optimization relies on.
+void check_shard_group_partition() {
+    for (const std::uint64_t nodes : {1u, 2u, 3u, 4u, 7u}) {
+        for (const std::uint64_t shards : {1u, 2u, 3u, 4u, 8u, 13u}) {
+            std::uint64_t covered = 0, min_sz = ~std::uint64_t{0},
+                          max_sz = 0;
+            std::uint64_t expected_base = 0;
+            for (std::uint64_t g = 0; g < nodes; ++g) {
+                const auto [base, size] =
+                    tb::detail::shard_group(g, nodes, shards);
+                CHECK_MSG(base == expected_base,
+                          "nodes=%llu shards=%llu group %llu: gap or "
+                          "overlap at base %llu",
+                          static_cast<unsigned long long>(nodes),
+                          static_cast<unsigned long long>(shards),
+                          static_cast<unsigned long long>(g),
+                          static_cast<unsigned long long>(base));
+                expected_base = base + size;
+                covered += size;
+                min_sz = std::min(min_sz, size);
+                max_sz = std::max(max_sz, size);
+            }
+            CHECK(covered == shards);
+            CHECK(max_sz - min_sz <= 1);
+        }
+    }
+    // Topology helpers degrade gracefully whatever the host looks like.
+    CHECK(numa_node_count() >= 1);
+    CHECK(numa_node_of_cpu(-1) == -1);
+    const int cpu = current_cpu();
+    if (cpu >= 0) {
+        const int node = numa_node_of_cpu(cpu);
+        CHECK(node == -1 || (node >= 0 && node < numa_node_count()));
+    }
+}
+
 void check_sharded_stamps() {
     auto tbase = tb::make("sharded:S=4,K=8");
     auto* s = tbase.get_if<tb::ShardedCounterTimeBase>();
@@ -302,6 +342,7 @@ int main() {
     check_registry_roundtrip();
     check_wrap_shares_state();
     check_wrap_external();
+    check_shard_group_partition();
     check_sharded_stamps();
     check_adaptive_switch();
     check_adaptive_auto_trigger();
