@@ -36,7 +36,7 @@ namespace {
 
 struct Point {
     double mtx = 0;
-    std::uint64_t false_conflicts = 0;
+    TxStats stats;
 };
 
 template <typename A>
@@ -55,19 +55,26 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return {res.mops_per_sec, adapter.collected_stats().false_conflicts};
+    return {res.mops_per_sec, adapter.collected_stats()};
 }
 
 // The time-base overhead question is engine-agnostic (both engines draw
 // stamps at the same points: start, extension, commit), so the whole
-// figure can be re-run on the orec engine with --engine=orec.
-Point measure_engine(bool orec, const std::string& spec, unsigned threads,
-                     unsigned accesses, double duration_ms) {
+// figure can be re-run on the orec engine with --engine=orec. CI also
+// re-runs it once with --epoch-filter=off to keep the full-walk
+// validation path exercised.
+Point measure_engine(bool orec, bool epoch_filter, const std::string& spec,
+                     unsigned threads, unsigned accesses,
+                     double duration_ms) {
     if (orec) {
-        stm::OrecAdapter a(tb::make(spec));
+        OrecConfig cfg;
+        cfg.epoch_filter = epoch_filter;
+        stm::OrecAdapter a(tb::make(spec), cfg);
         return measure(a, threads, accesses, duration_ms);
     }
-    stm::LsaAdapter a(tb::make(spec));
+    StmConfig cfg;
+    cfg.epoch_filter = epoch_filter;
+    stm::LsaAdapter a(tb::make(spec), cfg);
     return measure(a, threads, accesses, duration_ms);
 }
 
@@ -77,6 +84,7 @@ int main(int argc, char** argv) {
     Cli cli("Figure 2: time-base overhead, disjoint update transactions");
     wl::flag_timebase(cli, "shared,batched:B=8,sharded:S=4,mmtimer,perfect");
     wl::flag_engine(cli);
+    wl::flag_epoch_filter(cli);
     cli.flag_i64("duration-ms", 300, "measured window per point")
         .flag_i64("max-threads", 0, "cap thread sweep (0 = paper's 16)")
         .flag_i64("objects", 256, "objects per thread partition")
@@ -85,11 +93,13 @@ int main(int argc, char** argv) {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
         wl::validate_engine_flag(cli);
+        wl::epoch_filter_enabled(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const bool orec = wl::engine_is_orec(cli);
+    const bool epoch_filter = wl::epoch_filter_enabled(cli);
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const auto tb_specs = tb::split_specs(cli.str("timebase"));
     const auto sweep = wl::figure2_thread_sweep(
@@ -113,6 +123,7 @@ int main(int argc, char** argv) {
         .kv("duration_ms", duration)
         .kv("timebase", cli.str("timebase"))
         .kv("engine", cli.str("engine"))
+        .kv("epoch_filter", epoch_filter)
         .key("panels")
         .arr_begin();
 
@@ -138,15 +149,15 @@ int main(int argc, char** argv) {
                 Table::num(static_cast<std::uint64_t>(n))};
             json.obj_begin().kv("threads", n).key("series").arr_begin();
             for (std::size_t i = 0; i < tb_specs.size(); ++i) {
-                const Point p =
-                    measure_engine(orec, tb_specs[i], n, accesses, duration);
+                const Point p = measure_engine(orec, epoch_filter,
+                                               tb_specs[i], n, accesses,
+                                               duration);
                 series[i].push_back(p.mtx);
                 row.push_back(Table::num(p.mtx, 3));
                 json.obj_begin()
                     .kv("timebase", tb_specs[i])
-                    .kv("mtxs", p.mtx)
-                    .kv("false_conflicts", p.false_conflicts)
-                    .obj_end();
+                    .kv("mtxs", p.mtx);
+                wl::tx_stats_json(json, p.stats).obj_end();
             }
             json.arr_end()
                 .kv("oversubscribed", n > hardware_threads())

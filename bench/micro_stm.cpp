@@ -42,7 +42,8 @@ struct Rig {
     LsaStm stm;
     std::vector<std::unique_ptr<TVar<long>>> vars;
 
-    Rig(const std::string& spec, std::size_t n) : stm(tb::make(spec)) {
+    Rig(const std::string& spec, std::size_t n, StmConfig cfg = StmConfig{})
+        : stm(tb::make(spec), std::move(cfg)) {
         for (std::size_t i = 0; i < n; ++i)
             vars.push_back(std::make_unique<TVar<long>>(1));
     }
@@ -95,7 +96,9 @@ struct OrecRig {
     OrecStm stm;
     std::vector<std::unique_ptr<WordVar<long>>> vars;
 
-    OrecRig(const std::string& spec, std::size_t n) : stm(tb::make(spec)) {
+    OrecRig(const std::string& spec, std::size_t n,
+            OrecConfig cfg = OrecConfig{})
+        : stm(tb::make(spec), cfg) {
         for (std::size_t i = 0; i < n; ++i)
             vars.push_back(std::make_unique<WordVar<long>>(1));
     }
@@ -160,6 +163,127 @@ void bm_tl2_update_txn(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
 }
 
+// --- snapshot-extension cost rows (epoch-filter gate) -------------------
+//
+// One long-lived transaction holds R reads; each iteration draws one stamp
+// on a side thread clock of the SAME time base (time moves, but no writer
+// commits, so the commit epoch is unchanged) and calls try_extend_now().
+// Filter on: the O(1) epoch comparison admits the new snapshot bound.
+// Filter off (_NoFilter twins): the full O(R) read-set walk runs every
+// time. check_bench.py --epoch-gate requires on >= 2x off at R=8192.
+
+void bm_extend_lsa(benchmark::State& state, const std::string& spec,
+                   bool filter) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    StmConfig cfg;
+    cfg.epoch_filter = filter;
+    Rig rig(spec, reads, cfg);
+    auto ctx = rig.stm.make_context();
+    auto side = rig.stm.time_base().make_thread_clock();
+    // Warm block-drawing bases past their deviation window: on a fresh
+    // batched/sharded counter even the initial version 0 is inadmissible
+    // (0 + 2*deviation <= get_time() fails) and the raw reads below
+    // would throw a freshness abort.
+    for (int i = 0; i < 64; ++i) side.get_new_ts();
+    Transaction tx = ctx.txn_begin();
+    long sum = 0;
+    for (auto& v : rig.vars) sum += v->get(tx);
+    benchmark::DoNotOptimize(sum);
+    for (auto _ : state) {
+        side.get_new_ts();
+        benchmark::DoNotOptimize(tx.try_extend_now());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_extend_orec(benchmark::State& state, const std::string& spec,
+                    bool filter) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    OrecConfig cfg;
+    cfg.epoch_filter = filter;
+    OrecRig rig(spec, reads, cfg);
+    auto ctx = rig.stm.make_context();
+    auto side = rig.stm.time_base().make_thread_clock();
+    // Same warm-up as bm_extend_lsa: clear the deviation window so the
+    // anchor reads admit version 0 on block-drawing bases.
+    for (int i = 0; i < 64; ++i) side.get_new_ts();
+    OrecTransaction tx = ctx.txn_begin();
+    long sum = 0;
+    for (auto& v : rig.vars) sum += v->get(tx);
+    benchmark::DoNotOptimize(sum);
+    for (auto _ : state) {
+        side.get_new_ts();
+        benchmark::DoNotOptimize(tx.try_extend_now());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+// --- read-only commit fast path (no stamp drawn) ------------------------
+//
+// Single-var transactions on the shared counter: the update twin pays the
+// counter RMW at commit, the read-only row commits straight off its
+// snapshot. check_bench.py requires the RO row to be cheaper.
+
+void bm_ro_commit_lsa(benchmark::State& state) {
+    Rig rig("shared", 1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ctx.run([&](Transaction& tx) { return rig.vars[0]->get(tx); }));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_update_commit_lsa(benchmark::State& state) {
+    Rig rig("shared", 1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](Transaction& tx) {
+            rig.vars[0]->set(tx, rig.vars[0]->get(tx) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_ro_commit_orec(benchmark::State& state) {
+    OrecRig rig("shared", 1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctx.run(
+            [&](OrecTransaction& tx) { return rig.vars[0]->get(tx); }));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_update_commit_orec(benchmark::State& state) {
+    OrecRig rig("shared", 1);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](OrecTransaction& tx) {
+            rig.vars[0]->set(tx, rig.vars[0]->get(tx) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+// Write-back batching twin: the same 100-write orec update with the
+// pre-batching publish sequence (a release store per owned orec). The
+// batched default (BM_Orec_Update_Counter) must stay within
+// --writeback-gate of this row.
+void bm_orec_update_nobatch(benchmark::State& state) {
+    const auto writes = static_cast<std::size_t>(state.range(0));
+    OrecConfig cfg;
+    cfg.batched_writeback = false;
+    OrecRig rig("shared", writes, cfg);
+    auto ctx = rig.stm.make_context();
+    for (auto _ : state) {
+        ctx.run([&](OrecTransaction& tx) {
+            for (auto& v : rig.vars) v->set(tx, v->get(tx) + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(writes));
+}
+
 // Wider-than-a-word TVar: exercises the lazy heap history ring that
 // word-sized TVars no longer use (their ring is embedded in the var).
 struct Wide {
@@ -215,6 +339,33 @@ void BM_Tl2_Update(benchmark::State& s) { bm_tl2_update_txn(s); }
 void BM_Update_Wide_Counter(benchmark::State& s) {
     bm_update_wide_txn(s, "shared");
 }
+void BM_Extend_Lsa(benchmark::State& s) { bm_extend_lsa(s, "shared", true); }
+void BM_Extend_Lsa_NoFilter(benchmark::State& s) {
+    bm_extend_lsa(s, "shared", false);
+}
+void BM_Extend_Orec(benchmark::State& s) { bm_extend_orec(s, "shared", true); }
+void BM_Extend_Orec_NoFilter(benchmark::State& s) {
+    bm_extend_orec(s, "shared", false);
+}
+void BM_Extend_Lsa_Batched8(benchmark::State& s) {
+    bm_extend_lsa(s, "batched:B=8", true);
+}
+void BM_Extend_Lsa_Batched8_NoFilter(benchmark::State& s) {
+    bm_extend_lsa(s, "batched:B=8", false);
+}
+void BM_Extend_Lsa_Sharded4(benchmark::State& s) {
+    bm_extend_lsa(s, "sharded:S=4", true);
+}
+void BM_Extend_Lsa_Sharded4_NoFilter(benchmark::State& s) {
+    bm_extend_lsa(s, "sharded:S=4", false);
+}
+void BM_ReadOnly_Commit_Lsa(benchmark::State& s) { bm_ro_commit_lsa(s); }
+void BM_Update_Commit_Lsa(benchmark::State& s) { bm_update_commit_lsa(s); }
+void BM_ReadOnly_Commit_Orec(benchmark::State& s) { bm_ro_commit_orec(s); }
+void BM_Update_Commit_Orec(benchmark::State& s) { bm_update_commit_orec(s); }
+void BM_Orec_Update_NoBatch(benchmark::State& s) {
+    bm_orec_update_nobatch(s);
+}
 
 }  // namespace
 
@@ -231,6 +382,19 @@ BENCHMARK(BM_Orec_ReadAfterWrite_Counter);
 BENCHMARK(BM_Orec_Update_Batched8)->Arg(100);
 BENCHMARK(BM_Tl2_Update)->Arg(100);
 BENCHMARK(BM_Update_Wide_Counter)->Arg(1)->Arg(100);
+BENCHMARK(BM_Extend_Lsa)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_NoFilter)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_Extend_Orec)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_Extend_Orec_NoFilter)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_Batched8)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_Batched8_NoFilter)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_Sharded4)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_Sharded4_NoFilter)->Arg(8192);
+BENCHMARK(BM_ReadOnly_Commit_Lsa);
+BENCHMARK(BM_Update_Commit_Lsa);
+BENCHMARK(BM_ReadOnly_Commit_Orec);
+BENCHMARK(BM_Update_Commit_Orec);
+BENCHMARK(BM_Orec_Update_NoBatch)->Arg(100);
 
 int main(int argc, char** argv) {
     // Uniform --timebase flag: each extra spec registers the full row set

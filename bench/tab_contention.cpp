@@ -92,8 +92,8 @@ int main(int argc, char** argv) {
             .kv("policy", policy)
             .kv("mtxs", res.mops_per_sec)
             .kv("abort_ratio", ratio)
-            .kv("conserved", conserved)
-            .obj_end();
+            .kv("conserved", conserved);
+        wl::tx_stats_json(json, stats).obj_end();
         all_progress = all_progress && res.total_ops > 0;
         all_conserved = all_conserved && conserved;
     }
@@ -130,9 +130,8 @@ int main(int argc, char** argv) {
             .kv("policy", "orec-backoff")
             .kv("mtxs", res.mops_per_sec)
             .kv("abort_ratio", ratio)
-            .kv("conserved", conserved)
-            .kv("false_conflicts", stats.false_conflicts)
-            .obj_end();
+            .kv("conserved", conserved);
+        wl::tx_stats_json(json, stats).obj_end();
         all_progress = all_progress && res.total_ops > 0;
         all_conserved = all_conserved && conserved;
     }

@@ -28,7 +28,7 @@ namespace {
 
 struct Point {
     double mtx = 0;
-    std::uint64_t false_conflicts = 0;
+    TxStats stats;
 };
 
 template <typename A>
@@ -46,7 +46,7 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return {res.mops_per_sec, adapter.collected_stats().false_conflicts};
+    return {res.mops_per_sec, adapter.collected_stats()};
 }
 
 }  // namespace
@@ -108,9 +108,8 @@ int main(int argc, char** argv) {
             row.push_back(Table::num(p.mtx, 3));
             json.obj_begin()
                 .kv("timebase", tb_specs[i])
-                .kv("mtxs", p.mtx)
-                .kv("false_conflicts", p.false_conflicts)
-                .obj_end();
+                .kv("mtxs", p.mtx);
+            wl::tx_stats_json(json, p.stats).obj_end();
         }
         json.arr_end()
             .kv("oversubscribed", n > hardware_threads())

@@ -30,6 +30,7 @@ struct Cell {
     double mtx = 0;
     std::uint64_t helped = 0;
     bool conserved = true;
+    TxStats stats;
 };
 
 Cell run_cell(const std::string& tb_spec, bool help, unsigned threads,
@@ -52,8 +53,8 @@ Cell run_cell(const std::string& tb_spec, bool help, unsigned threads,
 
     Cell c;
     c.mtx = res.mops_per_sec;
-    const auto stats = adapter.stm().collected_stats();
-    c.helped = stats.helped_commits + stats.helped_timestamps;
+    c.stats = adapter.stm().collected_stats();
+    c.helped = c.stats.helped_commits + c.stats.helped_timestamps;
     c.conserved = bank.unsafe_total() == bank.expected_total();
     return c;
 }
@@ -106,8 +107,8 @@ int main(int argc, char** argv) {
             .kv("helped_ops", with_help.helped)
             .kv("spin_mtxs", spin.mtx)
             .kv("conserved", with_help.conserved && spin.conserved)
-            .kv("oversubscribed", n > hw)
-            .obj_end();
+            .kv("oversubscribed", n > hw);
+        wl::tx_stats_json(json, with_help.stats).obj_end();
     }
     t.add_note("oversubscribed rows force committer preemption: the regime "
                "where helping matters");

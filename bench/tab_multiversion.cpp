@@ -16,6 +16,7 @@
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/workload/runner.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
@@ -30,6 +31,7 @@ using Tx = Transaction;
 struct Point {
     double reader_sums_per_sec = 0;
     double reader_abort_ratio = 0;
+    TxStats reader_stats;
 };
 
 Point run_point(const std::string& tb_spec, unsigned k, unsigned array_size,
@@ -72,7 +74,8 @@ Point run_point(const std::string& tb_spec, unsigned k, unsigned array_size,
                             std::chrono::steady_clock::now() - t0)
                             .count();
         p.reader_sums_per_sec = reader_rounds / dt;
-        const auto& st = ctx.stats();
+        p.reader_stats = ctx.stats();
+        const auto& st = p.reader_stats;
         p.reader_abort_ratio =
             st.commits() + st.aborts() == 0
                 ? 0
@@ -129,8 +132,8 @@ int main(int argc, char** argv) {
         json.obj_begin()
             .kv("max_versions", k)
             .kv("sums_per_sec", points.back().reader_sums_per_sec)
-            .kv("reader_abort_ratio", points.back().reader_abort_ratio)
-            .obj_end();
+            .kv("reader_abort_ratio", points.back().reader_abort_ratio);
+        wl::tx_stats_json(json, points.back().reader_stats).obj_end();
     }
     t.print(std::cout);
 

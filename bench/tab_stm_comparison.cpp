@@ -132,15 +132,29 @@ int main(int argc, char** argv) {
         .kv("duration_ms", duration)
         .key("rows")
         .arr_begin();
+    // Sum the two measurement cells' counter blocks for the row's emitted
+    // stats (hash-set cell + audit cell).
+    const auto sum_stats = [](const TxStats& x, const TxStats& y) {
+        TxStats s(x.commits() + y.commits(), x.aborts() + y.aborts(),
+                  x.helped_commits + y.helped_commits,
+                  x.helped_timestamps + y.helped_timestamps,
+                  x.false_conflicts + y.false_conflicts);
+        s.extensions = x.extensions + y.extensions;
+        s.extension_fast_hits = x.extension_fast_hits + y.extension_fast_hits;
+        s.validation_fast_hits =
+            x.validation_fast_hits + y.validation_fast_hits;
+        s.ro_commits = x.ro_commits + y.ro_commits;
+        s.backoff_us = x.backoff_us + y.backoff_us;
+        return s;
+    };
     const auto emit = [&](const char* name, double hs, double au,
-                          std::uint64_t false_conf = 0) {
+                          const TxStats& stats = TxStats{}) {
         t.add_row({name, Table::num(hs, 3), Table::num(au, 1)});
         json.obj_begin()
             .kv("system", name)
             .kv("hashset_mtxs", hs)
-            .kv("audits_ks", au)
-            .kv("false_conflicts", false_conf)
-            .obj_end();
+            .kv("audits_ks", au);
+        wl::tx_stats_json(json, stats).obj_end();
     };
 
     // One LSA-RT row per --timebase spec; the first spec anchors the
@@ -153,7 +167,8 @@ int main(int argc, char** argv) {
         const double au = bench_audit(a2, threads, duration, conserved);
         if (first_spec) lsa_audit = au;
         first_spec = false;
-        emit(("LSA-RT/" + spec).c_str(), hs, au);
+        emit(("LSA-RT/" + spec).c_str(), hs, au,
+             sum_stats(a.collected_stats(), a2.collected_stats()));
     }
     // One Orec-LSA row per spec: same workloads, same time bases, the
     // per-TVar metadata replaced by the shared orec table.
@@ -162,9 +177,8 @@ int main(int argc, char** argv) {
         const double hs = bench_hashset(a, threads, duration);
         stm::OrecAdapter a2(tb::make(spec));
         const double au = bench_audit(a2, threads, duration, conserved);
-        const std::uint64_t fc = a.collected_stats().false_conflicts +
-                                 a2.collected_stats().false_conflicts;
-        emit(("Orec-LSA/" + spec).c_str(), hs, au, fc);
+        emit(("Orec-LSA/" + spec).c_str(), hs, au,
+             sum_stats(a.collected_stats(), a2.collected_stats()));
     }
     {
         stm::Tl2Adapter a;

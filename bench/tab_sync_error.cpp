@@ -32,7 +32,7 @@ namespace {
 struct Result {
     double mtx = 0;
     double abort_ratio = 0;
-    std::uint64_t false_conflicts = 0;
+    TxStats stats;
     bool conserved = true;
 };
 
@@ -70,7 +70,7 @@ Result run_core(A& adapter, unsigned threads, double duration_ms) {
                           ? 0.0
                           : static_cast<double>(stats.aborts()) /
                                 static_cast<double>(stats.commits() + stats.aborts());
-    out.false_conflicts = stats.false_conflicts;
+    out.stats = stats;
     long total = 0;
     for (auto& a : acct) total += a->unsafe_peek();
     out.conserved = total == 100L * kAccounts;
@@ -164,9 +164,8 @@ int main(int argc, char** argv) {
                 .kv("dev_ns", dev)
                 .kv("mtxs", r.mtx)
                 .kv("abort_ratio", r.abort_ratio)
-                .kv("false_conflicts", r.false_conflicts)
-                .kv("conserved", r.conserved)
-                .obj_end();
+                .kv("conserved", r.conserved);
+            wl::tx_stats_json(json, r.stats).obj_end();
             all_conserved = all_conserved && r.conserved;
             if (k == 8 && dev == 1) mv_small = r.abort_ratio;
             if (k == 8 && dev == 10'000'000) mv_big = r.abort_ratio;

@@ -65,6 +65,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -119,6 +120,11 @@ struct StmConfig {
     std::string contention_manager = "polite";
     // Spins on a foreign lock before the contention manager gives up.
     unsigned lock_spin = 256;
+    // Commit-epoch validation filter: writers bump one engine-global epoch
+    // word while holding their write locks; readers whose epoch snapshot is
+    // unchanged skip the O(R) read-set walk in try_extend() and at commit.
+    // Off forces the full walk every time (bench twin / debugging).
+    bool epoch_filter = true;
     // Bounded retry: run() throws after this many consecutive aborts.
     unsigned max_retries = 1'000'000;
     // Test-only: invoked on the committing thread right after its
@@ -161,6 +167,22 @@ class TxStats {
     // whose metadata cannot alias.
     std::uint64_t false_conflicts = 0;
 
+    // Snapshot-extension traffic: `extensions` counts successful extensions
+    // (upper bound moved forward), `extension_fast_hits` the subset that the
+    // commit-epoch filter admitted without walking the read set, and
+    // `validation_fast_hits` commit-time validations skipped the same way.
+    std::uint64_t extensions = 0;
+    std::uint64_t extension_fast_hits = 0;
+    std::uint64_t validation_fast_hits = 0;
+
+    // Read-only commits: empty-write-set transactions that committed without
+    // drawing a stamp, taking a lock, or bumping the commit epoch.
+    std::uint64_t ro_commits = 0;
+
+    // Total time spent in inter-attempt backoff (util/pause.hpp), rounded
+    // down to microseconds from an internal nanosecond accumulator.
+    std::uint64_t backoff_us = 0;
+
  private:
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;
@@ -175,7 +197,14 @@ inline constexpr unsigned kMaxHistory = 16;
 // TVar* takes over and every lookup is O(1).
 inline constexpr std::size_t kInlineScan = 8;
 
-struct AbortTx {};
+// freshness=true marks aborts where the snapshot could not be extended
+// because the time base itself had not advanced past `upper` (a too-new
+// version with no usable old one). Only these aborts warrant run()'s
+// draw-and-discard stamp: conflict aborts resolve through backoff and must
+// not drain batched/sharded counter blocks.
+struct AbortTx {
+    bool freshness = false;
+};
 
 struct StatsBlock {
     std::atomic<std::uint64_t> commits{0};
@@ -183,20 +212,24 @@ struct StatsBlock {
     std::atomic<std::uint64_t> helped_commits{0};
     std::atomic<std::uint64_t> helped_timestamps{0};
     std::atomic<std::uint64_t> false_conflicts{0};
+    std::atomic<std::uint64_t> extensions{0};
+    std::atomic<std::uint64_t> extension_fast_hits{0};
+    std::atomic<std::uint64_t> validation_fast_hits{0};
+    std::atomic<std::uint64_t> ro_commits{0};
+    // Nanoseconds internally; TxStats surfaces microseconds.
+    std::atomic<std::uint64_t> backoff_ns{0};
 };
 
-// Exponential backoff with multiplicative-hash jitter; yields once the spin
-// budget is large so oversubscribed hosts make progress.
-inline void backoff(unsigned attempt, std::uint64_t seed) {
-    const unsigned shift = attempt < 10 ? attempt : 10;
-    std::uint64_t spins = (8ull << shift);
-    seed = (seed + attempt + 1) * 0x9E3779B97F4A7C15ull;
-    spins = spins / 2 + (seed % (spins + 1)) / 2;
-    if (spins > 4096) {
-        std::this_thread::yield();
-        spins = 4096;
-    }
-    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+// Accumulate one stats block's fast-path counters into a TxStats; shared
+// by both engines' per-context and aggregate stats assembly.
+inline void fill_fast_path_stats(TxStats& s, const StatsBlock& b) {
+    s.extensions += b.extensions.load(std::memory_order_relaxed);
+    s.extension_fast_hits +=
+        b.extension_fast_hits.load(std::memory_order_relaxed);
+    s.validation_fast_hits +=
+        b.validation_fast_hits.load(std::memory_order_relaxed);
+    s.ro_commits += b.ro_commits.load(std::memory_order_relaxed);
+    s.backoff_us += b.backoff_ns.load(std::memory_order_relaxed) / 1000;
 }
 
 // Commit descriptor life cycle. Kill CASes are only legal from Locking or
@@ -220,10 +253,20 @@ struct CommitRec {
     TVarBase* var = nullptr;
     std::uint64_t locked_word = 0;  // unlocked word this lock replaced
     void (*apply_fn)(CommitRec*, std::uint64_t new_ts, std::uint64_t old_ts,
-                     unsigned keep_old) = nullptr;
+                     unsigned keep_old, bool publish) = nullptr;
+    // Full apply: store the new value and publish/unlock the version word
+    // with its own release fence. Used by helpers, which claim records one
+    // at a time and must leave each one fully published.
     void apply(std::uint64_t new_ts, std::uint64_t old_ts,
                unsigned keep_old) {
-        apply_fn(this, new_ts, old_ts, keep_old);
+        apply_fn(this, new_ts, old_ts, keep_old, true);
+    }
+    // Data-only apply for the owner's batched write-back: stores the value
+    // (and history rotation) but leaves the version word locked. The caller
+    // publishes all claimed records after one shared release fence.
+    void apply_data(std::uint64_t new_ts, std::uint64_t old_ts,
+                    unsigned keep_old) {
+        apply_fn(this, new_ts, old_ts, keep_old, false);
     }
 };
 
@@ -554,12 +597,16 @@ struct AccessSets {
     FlatVec<CommitRec*> writes;  // records live in `arena`
     WriteArena arena;
     PtrIndex write_index;  // TVar* -> index into `writes` (pre-sort only)
+    // Commit-time scratch: slot indices this owner claimed, so the batched
+    // write-back can publish them all after a single release fence.
+    FlatVec<std::uint32_t> claimed;
 
     void reset() {
         reads.clear();
         writes.clear();
         arena.reset();
         write_index.clear();
+        claimed.clear();
     }
 };
 
@@ -786,10 +833,13 @@ class TVar : public TVarBase {
     // weakly-ordered hardware, so a reader that observes new data and then
     // rechecks the lock word is guaranteed to see the lock (or the final
     // version) -- the other half of the seqlock lives in Transaction::read
-    // / read_old_version.
+    // / read_old_version. With publish=false (owner's batched write-back)
+    // both fence and version-publish are elided: the caller has already
+    // issued one fence covering every lock store of the batch and will
+    // publish all version words after another single fence.
     void commit_write(const T& v, std::uint64_t new_ts, std::uint64_t old_ts,
-                      unsigned keep_old) {
-        std::atomic_thread_fence(std::memory_order_release);
+                      unsigned keep_old, bool publish) {
+        if (publish) std::atomic_thread_fence(std::memory_order_release);
         if (keep_old > 0) {
             History* h = hist_.hist_for_write();
             const unsigned head =
@@ -808,7 +858,8 @@ class TVar : public TVarBase {
             hist_.clear_history();
         }
         value_.store(v, std::memory_order_relaxed);
-        this->vlock_.store(new_ts << 1, std::memory_order_release);
+        if (publish)
+            this->vlock_.store(new_ts << 1, std::memory_order_release);
     }
 
     std::atomic<T> value_;
@@ -833,6 +884,10 @@ class Transaction {
     std::size_t read_set_size() const { return sets_->reads.size(); }
     std::size_t write_set_size() const { return sets_->writes.size(); }
 
+    // Instrumentation/bench hook: attempt a snapshot extension right now,
+    // exactly as a read that meets a too-new version would.
+    bool try_extend_now() { return try_extend(); }
+
  private:
     friend class ThreadContext;
     template <typename T2>
@@ -843,19 +898,25 @@ class Transaction {
         T value;
         static void do_apply(detail::CommitRec* rec,
                              std::uint64_t new_ts, std::uint64_t old_ts,
-                             unsigned keep_old) {
+                             unsigned keep_old, bool publish) {
             auto* self = static_cast<WriteRec*>(rec);
             static_cast<TVar<T>*>(self->var)->commit_write(
-                self->value, new_ts, old_ts, keep_old);
+                self->value, new_ts, old_ts, keep_old, publish);
         }
     };
 
     Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
                 std::uint64_t dev, detail::StatsBlock* stats,
-                detail::TxDesc* desc, detail::AccessSets* sets)
+                detail::TxDesc* desc, detail::AccessSets* sets,
+                std::atomic<std::uint64_t>* epoch)
         : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
-          desc_(desc), sets_(sets) {
+          desc_(desc), sets_(sets), epoch_(epoch) {
         sets_->reset();
+        // Epoch before time: a writer that commits between these two loads
+        // shows up as an epoch mismatch (false negative, walk runs), never
+        // as a stale fast hit.
+        if (cfg_.epoch_filter)
+            validated_at_epoch_ = epoch_->load(std::memory_order_acquire);
         upper_ = clk_.get_time();
         start_ts_ = upper_;
         upper_cap_ = ~std::uint64_t{0};
@@ -981,7 +1042,10 @@ class Transaction {
                 T v{};
                 if (read_old_version(var, w1, v)) return v;
             }
-            throw detail::AbortTx{};
+            // Freshness abort: the version is too new for the snapshot and
+            // the snapshot could not move forward. run() may draw-and-
+            // discard a stamp so batched/sharded counters advance.
+            throw detail::AbortTx{true};
         }
     }
 
@@ -1016,19 +1080,51 @@ class Transaction {
 
     // Try to move `upper` to the present; all reads so far must still be
     // the most recent versions (a changed or locked word means the
-    // extension would break snapshot consistency, so we refuse).
+    // extension would break snapshot consistency, so we refuse). The
+    // commit-epoch filter short-circuits the O(R) walk: if no writer
+    // bumped the epoch since this transaction last validated, no read-set
+    // word can have changed (every conflicting writer bumps while holding
+    // the var's lock and unlocks only by publishing). `nu` is drawn BEFORE
+    // the epoch load so a writer invisible to the epoch check necessarily
+    // drew its commit stamp after nu -- the deviation-aware admission rule
+    // then keeps its versions out of the extended snapshot. See DESIGN.md
+    // "Commit-epoch filter soundness".
     bool try_extend() {
         std::uint64_t nu = clk_.get_time();
         nu = std::min(nu, upper_cap_);
         if (nu <= upper_) return false;
-        const bool intact = sets_->reads.all_of(
+        if (cfg_.epoch_filter) {
+            const std::uint64_t e = epoch_->load(std::memory_order_acquire);
+            if (e == validated_at_epoch_) {
+                upper_ = nu;
+                stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+                stats_->extension_fast_hits.fetch_add(
+                    1, std::memory_order_relaxed);
+                return true;
+            }
+            if (!walk_read_set()) return false;
+            upper_ = nu;
+            // Re-anchor to the pre-walk epoch: any bump <= e whose publish
+            // the walk did not see keeps its var locked until that publish,
+            // so the walk would have failed on the locked word.
+            validated_at_epoch_ = e;
+            stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (!walk_read_set()) return false;
+        upper_ = nu;
+        stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    // Full O(R) read-set validation: every read var still carries exactly
+    // the admitted (unlocked) word.
+    bool walk_read_set() const {
+        return sets_->reads.all_of(
             [](const detail::ReadSet::Entry& e) {
                 return e.var->vlock_.load(std::memory_order_acquire) ==
                        e.word;
             });
-        if (!intact) return false;
-        upper_ = nu;
-        return true;
     }
 
     // Search the version history of `var` for a version covering the
@@ -1104,10 +1200,24 @@ class Transaction {
     // false on conflict or kill (caller counts the abort and retries).
     bool commit() {
         auto& writes = sets_->writes;
-        if (writes.empty()) return true;  // snapshot reads are consistent
+        if (writes.empty()) {
+            // Read-only fast path: the snapshot reads are consistent and
+            // the transaction serializes at its snapshot -- no stamp drawn,
+            // no lock taken, no epoch bump.
+            stats_->ro_commits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
         // An update transaction that resorted to old versions cannot
-        // serialize at commit time.
-        if (read_old_) return false;
+        // serialize at commit time. This is a freshness failure, not a
+        // data conflict: the snapshot fell back to history because it
+        // could not extend to the present, and on counter time bases the
+        // present only moves when stamps are drawn -- if every thread is
+        // stuck here nobody draws and get_time() stalls forever. Flag it
+        // so run() pulls the counter forward.
+        if (read_old_) {
+            commit_stamp_stale_ = true;
+            return false;
+        }
 
         if (!writes_sorted_) {
             std::sort(writes.begin(), writes.end(),
@@ -1160,26 +1270,57 @@ class Transaction {
                                                std::memory_order_acq_rel,
                                                std::memory_order_relaxed))
             return rollback(writes.size());  // killed while locking
+        // Bump the commit epoch while every write lock is held and BEFORE
+        // the stamp draw: a reader whose epoch check misses this bump drew
+        // its extension time before our stamp existed, so admission keeps
+        // our versions out; a reader that validates while we still hold a
+        // conflicting lock fails on the locked word. The bump is
+        // unconditional past this point even if validation below aborts --
+        // a spurious bump only costs other readers a walk.
+        bool epoch_clean = false;
+        if (cfg_.epoch_filter)
+            epoch_clean =
+                epoch_->fetch_add(1, std::memory_order_acq_rel) ==
+                validated_at_epoch_;
         const std::uint64_t commit_ts = clk_.get_new_ts();
 
-        const bool reads_valid = sets_->reads.all_of(
-            [this](const detail::ReadSet::Entry& e) {
-                const std::uint64_t cur =
-                    e.var->vlock_.load(std::memory_order_acquire);
-                if (cur == e.word) return true;
-                if (cur == my_lock_word()) {
-                    // Locked by us; valid iff the version under our lock
-                    // is still the one we read. The sorted write set makes
-                    // this a binary search, so the validation pass is
-                    // O(R log W), not the seed's O(R*W) rescan.
-                    auto* rec = find_write_sorted(e.var);
-                    if (rec != nullptr && rec->locked_word == e.word)
-                        return true;
-                }
-                return false;
-            });
+        // Commit-time validation: if no other writer committed since this
+        // transaction last validated (epoch unchanged up to our own bump),
+        // no read-set word can have changed -- skip the O(R) walk. Our own
+        // locks are covered too: we could only have locked a read var
+        // whose word was still the one we admitted (the lock CAS saved it
+        // in locked_word and nobody else bumped).
+        bool reads_valid;
+        if (epoch_clean) {
+            reads_valid = true;
+            stats_->validation_fast_hits.fetch_add(
+                1, std::memory_order_relaxed);
+        } else {
+            reads_valid = sets_->reads.all_of(
+                [this](const detail::ReadSet::Entry& e) {
+                    const std::uint64_t cur =
+                        e.var->vlock_.load(std::memory_order_acquire);
+                    if (cur == e.word) return true;
+                    if (cur == my_lock_word()) {
+                        // Locked by us; valid iff the version under our
+                        // lock is still the one we read. The sorted write
+                        // set makes this a binary search, so the validation
+                        // pass is O(R log W), not the seed's O(R*W) rescan.
+                        auto* rec = find_write_sorted(e.var);
+                        if (rec != nullptr && rec->locked_word == e.word)
+                            return true;
+                    }
+                    return false;
+                });
+        }
         if (!reads_valid) return rollback(writes.size());
-        if (lower_ > commit_ts) return rollback(writes.size());
+        if (lower_ > commit_ts) {
+            // The stamp lags the snapshot's lower bound -- a time-base
+            // freshness problem (batched/sharded blocks), not a data
+            // conflict. Flag it so run() draws the counter forward.
+            commit_stamp_stale_ = true;
+            return rollback(writes.size());
+        }
 
         const unsigned keep_old =
             cfg_.max_versions > 0
@@ -1216,14 +1357,36 @@ class Transaction {
         if (cfg_.commit_publish_hook) cfg_.commit_publish_hook();
 
         // Claim-and-apply our own write set, racing helpers for each slot.
+        // Batched write-back: claim every slot first, run the data stores
+        // for all claimed records, then publish their version words behind
+        // a single release fence -- one fence per batch instead of one per
+        // record. Helpers that win claims keep the per-record fenced path
+        // (apply with publish=true), so mixed ownership stays correct
+        // var-by-var.
+        auto& claimed = sets_->claimed;
+        claimed.clear();
         for (std::size_t i = 0; i < writes.size(); ++i) {
             std::uint64_t expect_claim = 2 * q;
             if (slots[i].claim.compare_exchange_strong(
                     expect_claim, 2 * q + 1, std::memory_order_acq_rel,
                     std::memory_order_relaxed))
-                writes[i]->apply(new_ts, writes[i]->locked_word >> 1,
-                                 keep_old);
+                claimed.push_back(static_cast<std::uint32_t>(i));
         }
+        // Fence #1: the (earlier) lock stores stay visible before any data
+        // store -- a reader that observes new data and rechecks the lock
+        // word must see the lock (see commit_write's seqlock note).
+        std::atomic_thread_fence(std::memory_order_release);
+        for (std::uint32_t i = 0; i < claimed.size(); ++i) {
+            auto* rec = writes[claimed[i]];
+            rec->apply_data(new_ts, rec->locked_word >> 1, keep_old);
+        }
+        // Fence #2: all data stores precede every version publish below
+        // ([atomics.fences]: fence-release paired with the readers'
+        // acquire loads of the version word).
+        std::atomic_thread_fence(std::memory_order_release);
+        for (std::uint32_t i = 0; i < claimed.size(); ++i)
+            writes[claimed[i]]->var->vlock_.store(
+                new_ts << 1, std::memory_order_relaxed);
         // Wait until every orec is unlocked (a helper may still be midway
         // through a claimed slot) before the write records -- which that
         // helper dereferences -- can be recycled along with the arena.
@@ -1259,12 +1422,18 @@ class Transaction {
     detail::StatsBlock* stats_;
     detail::TxDesc* desc_;
     detail::AccessSets* sets_;
+    std::atomic<std::uint64_t>* epoch_;
+    std::uint64_t validated_at_epoch_ = 0;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     std::uint64_t upper_cap_ = 0;
     std::uint64_t start_ts_ = 0;
     bool read_old_ = false;
     bool writes_sorted_ = false;
+    // Set by commit() when it failed only because the drawn stamp lagged
+    // the snapshot (lower_ > commit_ts); run() treats that retry as a
+    // freshness abort and draws the time base forward.
+    bool commit_stamp_stale_ = false;
 };
 
 template <typename T>
@@ -1291,6 +1460,7 @@ class ThreadContext {
     auto run(F&& f) {
         using R = std::invoke_result_t<F&, Transaction&>;
         for (unsigned attempt = 0;; ++attempt) {
+            bool freshness = false;
             try {
                 Transaction tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
@@ -1300,23 +1470,49 @@ class ThreadContext {
                     R r = f(tx);
                     if (txn_commit(tx)) return r;
                 }
-            } catch (const detail::AbortTx&) {
+                freshness = tx.commit_stamp_stale_;
+            } catch (const detail::AbortTx& abort) {
                 stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+                freshness = abort.freshness;
             }
             if (attempt + 1 >= cfg_.max_retries)
                 throw std::runtime_error(
                     "chronostm: transaction exceeded retry bound");
-            // Force time forward on repeated aborts by drawing (and
-            // discarding) a stamp. Clock time bases advance on their own,
-            // but a counter whose committers draw timestamp BLOCKS
-            // (batched_counter) only moves when stamps are consumed -- an
-            // abort storm on a hot var could otherwise hold get_time still
-            // forever, and a snapshot that can never reach the present
-            // retries forever (freshness needs upper >= version + 2*dev).
-            if (attempt >= 1) clk_.get_new_ts();
-            detail::backoff(attempt,
-                            reinterpret_cast<std::uintptr_t>(stats_.get()));
+            abort_pause(attempt, freshness);
         }
+    }
+
+    // Post-abort pause, outlined so run()'s hot path (begin -> f ->
+    // commit, no abort) stays small enough to keep user code inlined
+    // into it. Force time forward on repeated FRESHNESS aborts by
+    // drawing (and discarding) a stamp: clock time bases advance on
+    // their own, but a counter whose committers draw timestamp BLOCKS
+    // (batched_counter) only moves when stamps are consumed -- an abort
+    // storm on a hot var could otherwise hold get_time still forever,
+    // and a snapshot that can never reach the present retries forever
+    // (freshness needs upper >= version + 2*dev). Conflict aborts
+    // resolve through backoff alone and must not drain the
+    // batched/sharded stamp blocks. The converse holds too: a freshness
+    // abort is not contention -- nobody holds anything this attempt is
+    // waiting on, the snapshot is merely stale -- so it retries
+    // immediately after the draw. Backing off there would serialize
+    // single-thread batched/sharded workloads behind sleep time for no
+    // benefit.
+    __attribute__((noinline)) void abort_pause(unsigned attempt,
+                                               bool freshness) {
+        if (freshness) {
+            if (attempt >= 1) clk_.get_new_ts();
+            return;
+        }
+        const auto b0 = std::chrono::steady_clock::now();
+        chronostm::backoff(
+            attempt, reinterpret_cast<std::uintptr_t>(stats_.get()));
+        stats_->backoff_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - b0)
+                    .count()),
+            std::memory_order_relaxed);
     }
 
     // Explicit transaction control for adapters and staged tests; run() is
@@ -1325,7 +1521,7 @@ class ThreadContext {
     // reports success. Statistics are counted like run() does.
     Transaction txn_begin() {
         return Transaction(clk_, cfg_, cm_, dev_, stats_.get(),
-                               desc_.get(), &sets_);
+                               desc_.get(), &sets_, epoch_);
     }
 
     bool txn_commit(Transaction& tx) {
@@ -1338,12 +1534,14 @@ class ThreadContext {
     }
 
     TxStats stats() const {
-        return TxStats(
+        TxStats s(
             stats_->commits.load(std::memory_order_relaxed),
             stats_->aborts.load(std::memory_order_relaxed),
             stats_->helped_commits.load(std::memory_order_relaxed),
             stats_->helped_timestamps.load(std::memory_order_relaxed),
             stats_->false_conflicts.load(std::memory_order_relaxed));
+        detail::fill_fast_path_stats(s, *stats_);
+        return s;
     }
 
  private:
@@ -1352,13 +1550,15 @@ class ThreadContext {
     ThreadContext(Clock clk, const StmConfig& cfg, CmPolicy cm,
                   std::uint64_t dev,
                   std::shared_ptr<detail::StatsBlock> stats,
-                  std::shared_ptr<detail::TxDesc> desc)
+                  std::shared_ptr<detail::TxDesc> desc,
+                  std::atomic<std::uint64_t>* epoch)
         : clk_(std::move(clk)),
           cfg_(cfg),
           cm_(cm),
           dev_(dev),
           stats_(std::move(stats)),
-          desc_(std::move(desc)) {}
+          desc_(std::move(desc)),
+          epoch_(epoch) {}
 
     Clock clk_;
     StmConfig cfg_;
@@ -1366,6 +1566,7 @@ class ThreadContext {
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
     std::shared_ptr<detail::TxDesc> desc_;
+    std::atomic<std::uint64_t>* epoch_;
     detail::AccessSets sets_;
 };
 
@@ -1400,21 +1601,35 @@ class LsaStm {
         // twice that bound.
         return ThreadContext(tbase_.make_thread_clock(), cfg_, cm_,
                                  2 * tbase_.deviation(), std::move(block),
-                                 std::move(desc));
+                                 std::move(desc), &commit_epoch_);
     }
 
     // Aggregate counters over every context ever created.
     TxStats collected_stats() const {
         std::uint64_t c = 0, a = 0, hc = 0, ht = 0, fc = 0;
         std::lock_guard<std::mutex> g(mu_);
+        TxStats partial;
         for (const auto& b : blocks_) {
             c += b->commits.load(std::memory_order_relaxed);
             a += b->aborts.load(std::memory_order_relaxed);
             hc += b->helped_commits.load(std::memory_order_relaxed);
             ht += b->helped_timestamps.load(std::memory_order_relaxed);
             fc += b->false_conflicts.load(std::memory_order_relaxed);
+            detail::fill_fast_path_stats(partial, *b);
         }
-        return TxStats(c, a, hc, ht, fc);
+        TxStats s(c, a, hc, ht, fc);
+        s.extensions = partial.extensions;
+        s.extension_fast_hits = partial.extension_fast_hits;
+        s.validation_fast_hits = partial.validation_fast_hits;
+        s.ro_commits = partial.ro_commits;
+        s.backoff_us = partial.backoff_us;
+        return s;
+    }
+
+    // Engine-global commit epoch: one bump per writer commit attempt that
+    // reached the stamp draw. Exposed for tests and instrumentation.
+    const std::atomic<std::uint64_t>& commit_epoch() const {
+        return commit_epoch_;
     }
 
     const StmConfig& config() const { return cfg_; }
@@ -1425,6 +1640,9 @@ class LsaStm {
     tb::TimeBase tbase_;
     StmConfig cfg_;
     CmPolicy cm_;
+    // Own cache line: bumped by every writer commit, loaded on every
+    // transaction begin and every filtered validation.
+    alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
     std::vector<std::shared_ptr<detail::TxDesc>> descs_;

@@ -54,6 +54,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -82,6 +83,17 @@ struct OrecConfig {
     unsigned lock_spin = 256;
     // Bounded retry: run() throws after this many consecutive aborts.
     unsigned max_retries = 1'000'000;
+    // Commit-epoch validation filter: writers bump one engine-global epoch
+    // word while holding their orec locks; readers whose epoch snapshot is
+    // unchanged skip the O(R) read-set walk in try_extend() and at commit.
+    // Off forces the full walk every time (bench twin / debugging).
+    bool epoch_filter = true;
+    // Commit-time write-back batching: one release fence for the whole
+    // write set and relaxed per-orec publishes, instead of release stores
+    // per orec. Off reproduces the pre-batching publish sequence (kept
+    // selectable so check_bench.py can gate batched against unbatched in
+    // the same run).
+    bool batched_writeback = true;
 };
 
 namespace detail {
@@ -320,6 +332,10 @@ class OrecTransaction {
     std::size_t read_set_size() const { return sets_->reads.size(); }
     std::size_t write_set_size() const { return sets_->writes.size(); }
 
+    // Instrumentation/bench hook: attempt a snapshot extension right now,
+    // exactly as a read that meets a too-new version would.
+    bool try_extend_now() { return try_extend(); }
+
     template <typename T>
     T read(const T* addr) {
         static_assert(std::is_trivially_copyable_v<T>,
@@ -360,10 +376,17 @@ class OrecTransaction {
     OrecTransaction(Clock& clk, const OrecConfig& cfg, OrecStm* stm,
                     std::uint64_t dev, detail::StatsBlock* stats,
                     detail::OrecAccessSets* sets,
-                    detail::RecentStamps* recent)
+                    detail::RecentStamps* recent,
+                    std::atomic<std::uint64_t>* epoch)
         : clk_(clk), cfg_(cfg), stm_(stm), dev_(dev), stats_(stats),
-          sets_(sets), recent_(recent) {
+          sets_(sets), recent_(recent), epoch_(epoch) {
         sets_->reset();
+        cache_table();
+        // Epoch before time: a writer that commits between these two loads
+        // shows up as an epoch mismatch (false negative), never as a stale
+        // fast hit.
+        if (cfg_.epoch_filter)
+            validated_at_epoch_ = epoch_->load(std::memory_order_acquire);
         upper_ = clk_.get_time();
     }
 
@@ -406,6 +429,12 @@ class OrecTransaction {
     // to the snapshot (the orec-table twin of the TVar core's read path).
     std::uint64_t load_validated(const void* gran);
 
+    // The table pointer and mask are immutable for the STM's lifetime;
+    // caching them here turns every orec lookup into index math off two
+    // transaction-local words instead of a dependent chase through stm_.
+    void cache_table();
+    std::atomic<std::uint64_t>* orec_of(const void* p) const;
+
     // --- write path -----------------------------------------------------
 
     void write_bytes(void* addr, const unsigned char* src, std::size_t len) {
@@ -442,16 +471,40 @@ class OrecTransaction {
 
     // Move `upper` to the present if every orec read so far is unchanged
     // (a changed or locked word means extension would break consistency).
+    // The commit-epoch filter short-circuits the O(R) walk exactly as in
+    // the TVar core's try_extend -- `nu` drawn before the epoch load, and
+    // on the walk path a re-anchor to the pre-walk epoch. See DESIGN.md
+    // "Commit-epoch filter soundness".
     bool try_extend() {
         const std::uint64_t nu = clk_.get_time();
         if (nu <= upper_) return false;
-        const bool intact = sets_->reads.all_of(
+        if (cfg_.epoch_filter) {
+            const std::uint64_t e = epoch_->load(std::memory_order_acquire);
+            if (e == validated_at_epoch_) {
+                upper_ = nu;
+                stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+                stats_->extension_fast_hits.fetch_add(
+                    1, std::memory_order_relaxed);
+                return true;
+            }
+            if (!walk_read_set()) return false;
+            upper_ = nu;
+            validated_at_epoch_ = e;
+            stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (!walk_read_set()) return false;
+        upper_ = nu;
+        stats_->extensions.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    // Full O(R) read-set validation against the current orec words.
+    bool walk_read_set() const {
+        return sets_->reads.all_of(
             [](const detail::OrecReadSet::Entry& e) {
                 return e.orec->load(std::memory_order_acquire) == e.word;
             });
-        if (!intact) return false;
-        upper_ = nu;
-        return true;
     }
 
     // Bounded wait for a foreign in-place lock to clear. No descriptor to
@@ -478,9 +531,18 @@ class OrecTransaction {
     detail::StatsBlock* stats_;
     detail::OrecAccessSets* sets_;
     detail::RecentStamps* recent_;
+    std::atomic<std::uint64_t>* epoch_;
+    // Cached from stm_ at begin (immutable for the STM's lifetime).
+    std::atomic<std::uint64_t>* tbl_ = nullptr;
+    std::size_t tmask_ = 0;
+    std::uint64_t validated_at_epoch_ = 0;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     bool writes_sorted_ = false;
+    // Set by commit() when it failed only because the drawn stamp lagged
+    // the snapshot (lower_ > commit_ts); run() treats that retry as a
+    // freshness abort and draws the time base forward.
+    bool commit_stamp_stale_ = false;
 };
 
 // Per-thread handle: thread clock, stats block, pooled access sets. One
@@ -495,6 +557,7 @@ class OrecThreadContext {
     auto run(F&& f) {
         using R = std::invoke_result_t<F&, OrecTransaction&>;
         for (unsigned attempt = 0;; ++attempt) {
+            bool freshness = false;
             try {
                 OrecTransaction tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
@@ -504,25 +567,48 @@ class OrecThreadContext {
                     R r = f(tx);
                     if (txn_commit(tx)) return r;
                 }
-            } catch (const detail::AbortTx&) {
+                freshness = tx.commit_stamp_stale_;
+            } catch (const detail::AbortTx& abort) {
                 stats_->aborts.fetch_add(1, std::memory_order_relaxed);
+                freshness = abort.freshness;
             }
             if (attempt + 1 >= cfg_.max_retries)
                 throw std::runtime_error(
                     "chronostm: orec transaction exceeded retry bound");
-            // Same livelock defense as the TVar core: a counter whose time
-            // only moves when stamps are drawn (batched/sharded) must see
-            // a draw during an abort storm, or snapshots never reach the
-            // present and freshness aborts repeat forever.
-            if (attempt >= 1) recent_.push(clk_.get_new_ts());
-            detail::backoff(attempt,
-                            reinterpret_cast<std::uintptr_t>(stats_.get()));
+            abort_pause(attempt, freshness);
         }
+    }
+
+    // Post-abort pause, outlined to keep run()'s no-abort hot path small
+    // (see the TVar core's twin). Same livelock defense as there: a
+    // counter whose time only moves when stamps are drawn
+    // (batched/sharded) must see a draw during a FRESHNESS abort storm,
+    // or snapshots never reach the present and those aborts repeat
+    // forever. Conflict aborts resolve through backoff alone and must
+    // not drain the batched/sharded stamp blocks. Freshness aborts in
+    // turn skip the backoff: nothing is contended -- the snapshot is
+    // merely stale -- so the retry goes immediately with the drawn stamp
+    // keeping the counter moving.
+    __attribute__((noinline)) void abort_pause(unsigned attempt,
+                                               bool freshness) {
+        if (freshness) {
+            if (attempt >= 1) recent_.push(clk_.get_new_ts());
+            return;
+        }
+        const auto b0 = std::chrono::steady_clock::now();
+        chronostm::backoff(
+            attempt, reinterpret_cast<std::uintptr_t>(stats_.get()));
+        stats_->backoff_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - b0)
+                    .count()),
+            std::memory_order_relaxed);
     }
 
     OrecTransaction txn_begin() {
         return OrecTransaction(clk_, cfg_, stm_, dev_, stats_.get(),
-                               &sets_, &recent_);
+                               &sets_, &recent_, epoch_);
     }
 
     bool txn_commit(OrecTransaction& tx) {
@@ -535,10 +621,12 @@ class OrecThreadContext {
     }
 
     TxStats stats() const {
-        return TxStats(
+        TxStats s(
             stats_->commits.load(std::memory_order_relaxed),
             stats_->aborts.load(std::memory_order_relaxed), 0, 0,
             stats_->false_conflicts.load(std::memory_order_relaxed));
+        detail::fill_fast_path_stats(s, *stats_);
+        return s;
     }
 
  private:
@@ -546,15 +634,17 @@ class OrecThreadContext {
 
     OrecThreadContext(Clock clk, const OrecConfig& cfg, OrecStm* stm,
                       std::uint64_t dev,
-                      std::shared_ptr<detail::StatsBlock> stats)
+                      std::shared_ptr<detail::StatsBlock> stats,
+                      std::atomic<std::uint64_t>* epoch)
         : clk_(std::move(clk)), cfg_(cfg), stm_(stm), dev_(dev),
-          stats_(std::move(stats)) {}
+          stats_(std::move(stats)), epoch_(epoch) {}
 
     Clock clk_;
     OrecConfig cfg_;
     OrecStm* stm_;
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
+    std::atomic<std::uint64_t>* epoch_;
     detail::OrecAccessSets sets_;
     detail::RecentStamps recent_;
 };
@@ -594,18 +684,33 @@ class OrecStm {
         // Pairwise stamp uncertainty: both the version's stamp and the
         // snapshot's stamp may deviate by the published bound.
         return OrecThreadContext(tbase_.make_thread_clock(), cfg_, this,
-                                 2 * tbase_.deviation(), std::move(block));
+                                 2 * tbase_.deviation(), std::move(block),
+                                 &commit_epoch_);
     }
 
     TxStats collected_stats() const {
         std::uint64_t c = 0, a = 0, fc = 0;
         std::lock_guard<std::mutex> g(mu_);
+        TxStats partial;
         for (const auto& b : blocks_) {
             c += b->commits.load(std::memory_order_relaxed);
             a += b->aborts.load(std::memory_order_relaxed);
             fc += b->false_conflicts.load(std::memory_order_relaxed);
+            detail::fill_fast_path_stats(partial, *b);
         }
-        return TxStats(c, a, 0, 0, fc);
+        TxStats s(c, a, 0, 0, fc);
+        s.extensions = partial.extensions;
+        s.extension_fast_hits = partial.extension_fast_hits;
+        s.validation_fast_hits = partial.validation_fast_hits;
+        s.ro_commits = partial.ro_commits;
+        s.backoff_us = partial.backoff_us;
+        return s;
+    }
+
+    // Engine-global commit epoch: one bump per writer commit attempt that
+    // reached the stamp draw. Exposed for tests and instrumentation.
+    const std::atomic<std::uint64_t>& commit_epoch() const {
+        return commit_epoch_;
     }
 
     const OrecConfig& config() const { return cfg_; }
@@ -613,23 +718,40 @@ class OrecStm {
     tb::TimeBase& time_base() { return tbase_; }
 
  private:
+    friend class OrecTransaction;
+
     tb::TimeBase tbase_;
     OrecConfig cfg_;
     std::size_t mask_ = 0;
     std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
+    // Own cache line: bumped by every writer commit, loaded on every
+    // transaction begin and every filtered validation.
+    alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
 };
 
+inline void OrecTransaction::cache_table() {
+    tbl_ = stm_->table_.get();
+    tmask_ = stm_->mask_;
+}
+
+inline std::atomic<std::uint64_t>* OrecTransaction::orec_of(
+    const void* p) const {
+    return &tbl_[(reinterpret_cast<std::uintptr_t>(p) >>
+                  OrecStm::kOrecShift) &
+                 tmask_];
+}
+
 inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
-    auto* o = stm_->orec_of(gran);
+    auto* o = orec_of(gran);
     // Read-after-read dedup keyed by orec: a duplicate re-delivers under
     // the admitted word; a miss leaves the landing slot staged so
     // admission below is one store.
     auto* dup = sets_->reads.find_or_stage(o);
     for (;;) {
         std::uint64_t w1 = o->load(std::memory_order_acquire);
-        if (w1 & 1u) {
+        if (__builtin_expect(w1 & 1u, 0)) {
             wait_on_locked_orec(o);
             continue;
         }
@@ -649,8 +771,10 @@ inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
             // Seqlock recheck; pairs with the release fence before the
             // data stores in commit().
             std::atomic_thread_fence(std::memory_order_acquire);
-            if (o->load(std::memory_order_acquire) != w1) continue;
-            if (dup != nullptr) {
+            if (__builtin_expect(o->load(std::memory_order_acquire) != w1,
+                                 0))
+                continue;
+            if (__builtin_expect(dup != nullptr, 0)) {
                 // A word that changed since admission means snapshot
                 // damage; refuse (same reasoning as the TVar core).
                 if (dup->word != w1) throw detail::AbortTx{};
@@ -671,9 +795,11 @@ inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
         }
         // Too new for the snapshot: extend to the present (revalidating
         // the read set) and retry. No multi-version fallback here -- the
-        // orec table keeps no history -- so failure to extend is an abort.
+        // orec table keeps no history -- so failure to extend is a
+        // FRESHNESS abort: run() may draw-and-discard a stamp so
+        // batched/sharded counters advance.
         if (cfg_.read_extension && try_extend()) continue;
-        throw detail::AbortTx{};
+        throw detail::AbortTx{true};
     }
 }
 
@@ -693,7 +819,7 @@ inline void OrecTransaction::store_granule(void* gran,
     }
     detail::OrecWriteRec rec{};
     rec.gran = gran;
-    rec.orec = stm_->orec_of(gran);
+    rec.orec = orec_of(gran);
     std::memcpy(reinterpret_cast<unsigned char*>(&rec.value) + off, src, n);
     rec.mask = m;
     auto& ws = sets_->writes;
@@ -715,7 +841,13 @@ inline void OrecTransaction::store_granule(void* gran,
 // and release every orec with the new version.
 inline bool OrecTransaction::commit() {
     auto& ws = sets_->writes;
-    if (ws.empty()) return true;  // snapshot reads are consistent as-is
+    if (ws.empty()) {
+        // Read-only fast path: the snapshot reads are consistent and the
+        // transaction serializes at its snapshot -- no stamp drawn, no
+        // lock taken, no epoch bump.
+        stats_->ro_commits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
 
     if (!writes_sorted_) {
         std::sort(ws.begin(), ws.end(),
@@ -766,6 +898,18 @@ inline bool OrecTransaction::commit() {
         return false;
     }
 
+    // Bump the commit epoch while every orec lock is held and BEFORE the
+    // stamp draw: a reader whose epoch check misses this bump drew its
+    // extension time before our stamp existed, so the deviation-aware
+    // admission rule keeps these versions out; a reader that validates
+    // while we still hold a conflicting lock fails on the locked word. A
+    // spurious bump from an attempt that aborts below only costs other
+    // readers a walk.
+    bool epoch_clean = false;
+    if (cfg_.epoch_filter)
+        epoch_clean = epoch_->fetch_add(1, std::memory_order_acq_rel) ==
+                      validated_at_epoch_;
+
     // Locks held: draw the commit timestamp. Drawn after the LAST lock --
     // a pre-lock stamp would let a fresh reader accept these writes inside
     // a snapshot that still contains pre-lock state. Recorded as an own
@@ -774,23 +918,37 @@ inline bool OrecTransaction::commit() {
     const std::uint64_t commit_ts = clk_.get_new_ts();
     recent_->push(commit_ts);
 
-    const bool reads_valid = sets_->reads.all_of(
-        [&](const detail::OrecReadSet::Entry& e) {
-            const std::uint64_t cur =
-                e.orec->load(std::memory_order_acquire);
-            if (cur == e.word) return true;
-            if (cur == (e.word | 1u)) {
-                // Same version, lock bit set. A foreign committer locking
-                // in place would present the same word, so ownership is
-                // decided by this commit's own index, never the word.
-                const std::uint32_t i = owned.find_or_stage(e.orec);
-                if (i != detail::PtrIndex::kNone &&
-                    ws[i].locked_word == e.word)
-                    return true;
-            }
-            return false;
-        });
+    // Commit-time validation: epoch unchanged up to our own bump means no
+    // other writer committed since this transaction last validated, so no
+    // read-set word can have changed (own locks included: we could only
+    // have locked an orec whose word was still the admitted one).
+    bool reads_valid;
+    if (epoch_clean) {
+        reads_valid = true;
+        stats_->validation_fast_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        reads_valid = sets_->reads.all_of(
+            [&](const detail::OrecReadSet::Entry& e) {
+                const std::uint64_t cur =
+                    e.orec->load(std::memory_order_acquire);
+                if (cur == e.word) return true;
+                if (cur == (e.word | 1u)) {
+                    // Same version, lock bit set. A foreign committer
+                    // locking in place would present the same word, so
+                    // ownership is decided by this commit's own index,
+                    // never the word.
+                    const std::uint32_t i = owned.find_or_stage(e.orec);
+                    if (i != detail::PtrIndex::kNone &&
+                        ws[i].locked_word == e.word)
+                        return true;
+                }
+                return false;
+            });
+    }
     if (!reads_valid || lower_ > commit_ts) {
+        // A stamp that lags the snapshot is a time-base freshness problem
+        // (batched/sharded blocks), not a data conflict.
+        if (reads_valid) commit_stamp_stale_ = true;
         rollback();
         return false;
     }
@@ -802,12 +960,12 @@ inline bool OrecTransaction::commit() {
         if (rec.owner)
             new_ts = std::max(new_ts, (rec.locked_word >> 1) + 1);
 
-    // Publish. The release fence keeps the lock CASes above ordered
-    // before the data stores; the final release stores on the orecs make
-    // data visible before the version that admits it (seqlock writer
-    // side). Partial-granule records merge with memory -- safe because
-    // this thread holds the granule's orec, so nobody else may write any
-    // byte of it until the release below.
+    // Publish. The first release fence keeps the lock CASes above ordered
+    // before the data stores. Partial-granule records merge with memory --
+    // safe because this thread holds the granule's orec, so nobody else
+    // may write any byte of it until the publish below. The data pass
+    // walks the granule-sorted write set, so aliased granules of one orec
+    // all land before that orec's single publish.
     std::atomic_thread_fence(std::memory_order_release);
     for (const auto& rec : ws) {
         auto* gp = static_cast<std::uint64_t*>(rec.gran);
@@ -820,9 +978,23 @@ inline bool OrecTransaction::commit() {
                              __ATOMIC_RELAXED);
         }
     }
-    for (const auto& rec : ws)
-        if (rec.owner)
-            rec.orec->store(new_ts << 1, std::memory_order_release);
+    if (cfg_.batched_writeback) {
+        // Batched version publish: one release fence for the whole write
+        // set, then relaxed stores -- each orec published exactly once
+        // (owner records). Readers' acquire loads of the orec synchronize
+        // with the fence ([atomics.fences]), so data stays visible before
+        // the version that admits it.
+        std::atomic_thread_fence(std::memory_order_release);
+        for (const auto& rec : ws)
+            if (rec.owner)
+                rec.orec->store(new_ts << 1, std::memory_order_relaxed);
+    } else {
+        // Pre-batching publish sequence (per-orec release stores), kept
+        // selectable so the bench can pin batched against unbatched.
+        for (const auto& rec : ws)
+            if (rec.owner)
+                rec.orec->store(new_ts << 1, std::memory_order_release);
+    }
     return true;
 }
 

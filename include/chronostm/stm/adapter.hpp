@@ -11,7 +11,10 @@
 //   using Context;                     // per-thread handle (make one per
 //                                      //   worker thread); Context::stats()
 //                                      //   exposes per-thread commit/abort
-//                                      //   counters
+//                                      //   counters plus the fast-path
+//                                      //   block (extensions, epoch-filter
+//                                      //   fast hits, ro_commits,
+//                                      //   backoff_us)
 //   Context make_context();
 //   adapter.run(ctx, f);               // runs f(Txn&) until it commits and
 //                                      //   passes f's return value through
@@ -26,13 +29,17 @@
 //                         runtime-pluggable time-base facade: pass a
 //                         wrapped object or a registry handle from
 //                         tb::make("batched:B=16")), with multi-version
-//                         history, commit helping, and pluggable
-//                         contention managers (StmConfig).
+//                         history, commit helping, pluggable contention
+//                         managers, and the commit-epoch validation
+//                         filter (StmConfig::epoch_filter).
 //   * OrecAdapter      -- LSA over a global orec table (core/orec_stm.hpp):
 //                         raw-memory words hashed to versioned locks by
-//                         (addr >> 4) & mask, same time-base facade and
-//                         snapshot extension, single-version, no helping.
-//                         Var<T> is the metadata-free WordVar<T>.
+//                         (addr >> 4) & mask, same time-base facade,
+//                         snapshot extension, and commit-epoch filter
+//                         (OrecConfig::epoch_filter), single-version, no
+//                         helping, commit-time write-back batching
+//                         (OrecConfig::batched_writeback). Var<T> is the
+//                         metadata-free WordVar<T>.
 //   * Tl2Adapter       -- single-version, global-version-clock TL2.
 //   * VstmAdapter      -- validation-based STM, +- commit-counter
 //                         heuristic (VstmConfig).

@@ -114,8 +114,8 @@ class BaselineAdapter : public StatsRegistry {
                 throw std::runtime_error(
                     std::string("chronostm: ") + Derived::kEngineName +
                     " transaction exceeded retry bound");
-            detail::backoff(attempt,
-                            reinterpret_cast<std::uintptr_t>(block(ctx)));
+            chronostm::backoff(attempt,
+                               reinterpret_cast<std::uintptr_t>(block(ctx)));
         }
     }
 

@@ -1,8 +1,10 @@
-// Spin-wait hint shared by the timebase and core layers.
+// Spin-wait hint and retry backoff shared by the timebase and core layers.
 
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <thread>
 
 namespace chronostm {
 
@@ -14,6 +16,22 @@ inline void cpu_relax() {
 #else
     std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
+}
+
+// Bounded exponential backoff with multiplicative-hash jitter, used by both
+// engines' retry loops between aborted attempts. The jitter decorrelates
+// threads that aborted on the same conflict; the spin budget is capped and
+// yields once large so oversubscribed hosts make progress.
+inline void backoff(unsigned attempt, std::uint64_t seed) {
+    const unsigned shift = attempt < 10 ? attempt : 10;
+    std::uint64_t spins = (8ull << shift);
+    seed = (seed + attempt + 1) * 0x9E3779B97F4A7C15ull;
+    spins = spins / 2 + (seed % (spins + 1)) / 2;
+    if (spins > 4096) {
+        std::this_thread::yield();
+        spins = 4096;
+    }
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
 }
 
 }  // namespace chronostm

@@ -76,6 +76,37 @@ inline void validate_engine_flag(const Cli& cli) {
             "unknown --engine '" + e + "' (expected: lsa, orec)");
 }
 
+// Commit-epoch filter toggle, uniform across drivers that expose it:
+// --epoch-filter=on|off maps onto StmConfig::epoch_filter /
+// OrecConfig::epoch_filter so CI can exercise the filter-off walk path.
+inline Cli& flag_epoch_filter(Cli& cli) {
+    return cli.flag_str("epoch-filter", "on",
+                        "commit-epoch validation filter: on|off");
+}
+
+inline bool epoch_filter_enabled(const Cli& cli) {
+    const std::string& v = cli.str("epoch-filter");
+    if (v == "on") return true;
+    if (v == "off") return false;
+    throw std::invalid_argument(
+        "unknown --epoch-filter '" + v + "' (expected: on, off)");
+}
+
+// Emit the engine counter block every stats-bearing driver appends to its
+// --json rows: the snapshot/commit fast-path counters next to
+// false_conflicts. Templated on the stats and JSON emitter types so this
+// header needs neither core include.
+template <typename Json, typename Stats>
+inline Json& tx_stats_json(Json& json, const Stats& s) {
+    json.kv("false_conflicts", s.false_conflicts)
+        .kv("extensions", s.extensions)
+        .kv("extension_fast_hits", s.extension_fast_hits)
+        .kv("validation_fast_hits", s.validation_fast_hits)
+        .kv("ro_commits", s.ro_commits)
+        .kv("backoff_us", s.backoff_us);
+    return json;
+}
+
 
 struct RunSpec {
     unsigned threads = 1;

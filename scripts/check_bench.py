@@ -19,12 +19,35 @@ every BM_Orec_<X> row with its per-TVar LSA twin BM_<X> (drop "Orec_"):
 the orec engine runs the identical workload through the same time base, so
 the ratio isolates what the orec table costs over per-var metadata --
 ISSUE acceptance says within 1.15x on the read-only and update shapes.
+Pairs whose LSA side is below --orec-min-ns are skipped for the same
+reason --facade-min-ns exists: a 1-10 access transaction is mostly the
+begin/commit constant plus loop microstructure (unroll/branch luck on a
+10-iteration loop), which swamps the RELATIVE per-access ratio while the
+absolute cost stays covered by the cross-run gate. Run the blob with
+--benchmark_repetitions (CI uses 3) -- load_benchmarks keeps the min of
+the repetitions per row, which cancels one-sided scheduler interference
+before any ratio is formed.
 --tl2-margin checks the paper-facing ordering: BM_Orec_Update_Batched8
 must beat its BM_Tl2_Update counterpart (both pay per-location versioned
 locks; orec draws stamps from the batched scalable counter instead of a
 CAS on the global clock, which is the whole point of the comparison).
 Rows without a counterpart in the run are skipped, not failed -- the
 cross-run MISSING check still protects against silently dropping them.
+
+Three commit-epoch-filter gates (PR 7) also run SAME-RUN on the micro_stm
+blob. --epoch-gate pairs every BM_<X>_NoFilter row with its filter-on twin
+BM_<X> (strip "_NoFilter") and requires the filter to speed the R=8192
+extension rows up by at least the given factor (default 2.0): the filter
+turns the O(R) read-set walk into one epoch comparison, so anything less
+means the fast path is not being taken. Smaller-R rows are reported but
+not gated (the walk is too cheap there for a robust ratio). --ro-margin
+requires BM_ReadOnly_Commit_<E> at or below its BM_Update_Commit_<E> twin
+(default 1.0): a read-only commit draws no stamp and takes no locks, so
+it must not cost more than the single-var update that does.
+--writeback-gate bounds BM_Orec_Update_Counter/100 against
+BM_Orec_Update_NoBatch/100 (default 1.05): batched write-back (one fence
+for the whole write set) must not lose more than noise to the per-orec
+release-store publish it replaced.
 
 In addition to the cross-run regression gate, --facade-tolerance gates the
 time-base facade's dispatch overhead WITHIN the current run: every
@@ -60,7 +83,13 @@ import sys
 
 
 def load_benchmarks(blob):
-    """name -> cpu_time in ns, per-iteration rows only (no aggregates)."""
+    """name -> cpu_time in ns, per-iteration rows only (no aggregates).
+
+    When the run used --benchmark_repetitions=N, the same name appears N
+    times; keep the MINIMUM. Scheduler interference on shared runners only
+    ever slows a row down, so min-of-reps is the robust estimator of the
+    undisturbed cost and is what every ratio gate below should compare.
+    """
     out = {}
     for row in blob.get("benchmarks", []):
         if row.get("run_type", "iteration") != "iteration":
@@ -71,7 +100,9 @@ def load_benchmarks(blob):
             print(f"warning: unknown time_unit {unit!r} for "
                   f"{row.get('name')}, skipping", file=sys.stderr)
             continue
-        out[row["name"]] = float(row["cpu_time"]) * scale
+        ns = float(row["cpu_time"]) * scale
+        name = row["name"]
+        out[name] = min(out[name], ns) if name in out else ns
     return out
 
 
@@ -105,11 +136,36 @@ def main():
                     help="fail when a BM_Orec_<X> row exceeds this ratio "
                          "of its per-TVar LSA twin BM_<X> in the SAME run "
                          "(default: 1.15, the ISSUE acceptance bound)")
+    ap.add_argument("--orec-min-ns", type=float, default=120.0,
+                    help="skip orec-vs-LSA pairs whose LSA side is below "
+                         "this (default: 120). Sub-100ns rows (1-10 "
+                         "accesses) are dominated by the per-txn "
+                         "begin/commit constant and loop microstructure, "
+                         "not the per-access metadata lookup the gate "
+                         "isolates; the absolute cost of those rows stays "
+                         "covered by the cross-run regression gate")
     ap.add_argument("--tl2-margin", type=float, default=1.0,
                     help="fail when BM_Orec_Update_Batched8 exceeds this "
                          "ratio of its BM_Tl2_Update counterpart in the "
                          "SAME run (default: 1.0 -- orec on the batched "
                          "time base must outright beat TL2)")
+    ap.add_argument("--epoch-gate", type=float, default=2.0,
+                    help="fail when a filter-on extension row is not at "
+                         "least this many times faster than its _NoFilter "
+                         "twin on the R=8192 rows in the SAME run "
+                         "(default: 2.0 -- the O(1) epoch check vs the "
+                         "O(R) walk)")
+    ap.add_argument("--ro-margin", type=float, default=1.0,
+                    help="fail when BM_ReadOnly_Commit_<E> exceeds this "
+                         "ratio of BM_Update_Commit_<E> in the SAME run "
+                         "(default: 1.0 -- a read-only commit draws no "
+                         "stamp, so it must not cost more than an update)")
+    ap.add_argument("--writeback-gate", type=float, default=1.05,
+                    help="fail when BM_Orec_Update_Counter/100 exceeds "
+                         "this ratio of BM_Orec_Update_NoBatch/100 in the "
+                         "SAME run (default: 1.05 -- batched write-back "
+                         "must not lose more than noise to the per-orec "
+                         "publish it replaced)")
     ap.add_argument("--gate-threads", action="store_true",
                     help="also gate multi-threaded (/threads:N) rows. Off "
                          "by default: contended costs are machine-shaped "
@@ -211,6 +267,10 @@ def main():
             orec = cur[name]
             if lsa <= 0:
                 continue
+            if lsa < args.orec_min_ns:
+                print(f"  {name:<44} {lsa:>10.2f} {orec:>10.2f} "
+                      f"{'—':>7}  skipped (< --orec-min-ns)")
+                continue
             ratio = orec / lsa
             verdict = ("REGRESSION" if ratio > args.orec_tolerance
                        else "ok")
@@ -242,6 +302,86 @@ def main():
                 regressions += 1
             compared += 1
             print(f"  {name:<44} {tl2:>10.2f} {orec:>10.2f} "
+                  f"{ratio:>6.2f}x  {verdict}")
+
+        # Epoch-filter gate: same-run BM_<X>_NoFilter vs BM_<X> pairs.
+        # Only the R=8192 rows are gated (the walk must dominate for the
+        # ratio to be robust); smaller-R pairs are reported for context.
+        epoch_pairs = sorted(
+            n for n in cur
+            if "_NoFilter" in n and n.replace("_NoFilter", "") in cur)
+        if epoch_pairs:
+            print(f"\n{driver} epoch filter on vs off "
+                  f"(speedup >= {args.epoch_gate:g}x at /8192, same run):")
+            print(f"  {'benchmark':<44} {'on ns':>10} {'off ns':>10} "
+                  f"{'speedup':>8}")
+        for name in epoch_pairs:
+            on = cur[name.replace("_NoFilter", "")]
+            off = cur[name]
+            if on <= 0:
+                continue
+            speedup = off / on
+            if not name.endswith("/8192"):
+                print(f"  {name:<44} {on:>10.2f} {off:>10.2f} "
+                      f"{speedup:>7.2f}x  reported (gate is /8192 only)")
+                continue
+            verdict = ("REGRESSION" if speedup < args.epoch_gate else "ok")
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {on:>10.2f} {off:>10.2f} "
+                  f"{speedup:>7.2f}x  {verdict}")
+
+        # Read-only commit gate: no stamp, no locks -> must not cost more
+        # than the single-var update twin.
+        ro_pairs = sorted(
+            n for n in cur
+            if n.startswith("BM_ReadOnly_Commit_") and
+            "BM_Update_Commit_" + n[len("BM_ReadOnly_Commit_"):] in cur)
+        if ro_pairs:
+            print(f"\n{driver} read-only vs update commit "
+                  f"(margin {args.ro_margin:g}x, same run):")
+            print(f"  {'benchmark':<44} {'update ns':>10} {'ro ns':>10} "
+                  f"{'ratio':>7}")
+        for name in ro_pairs:
+            upd = cur["BM_Update_Commit_" +
+                      name[len("BM_ReadOnly_Commit_"):]]
+            ro = cur[name]
+            if upd <= 0:
+                continue
+            ratio = ro / upd
+            verdict = "REGRESSION" if ratio > args.ro_margin else "ok"
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {upd:>10.2f} {ro:>10.2f} "
+                  f"{ratio:>6.2f}x  {verdict}")
+
+        # Write-back batching gate: batched publish vs the per-orec
+        # release-store twin, same run.
+        wb_pairs = sorted(
+            n for n in cur
+            if n.startswith("BM_Orec_Update_Counter/") and
+            "BM_Orec_Update_NoBatch" +
+            n[len("BM_Orec_Update_Counter"):] in cur)
+        if wb_pairs:
+            print(f"\n{driver} batched vs unbatched write-back "
+                  f"(gate {args.writeback_gate:g}x, same run):")
+            print(f"  {'benchmark':<44} {'nobatch ns':>10} "
+                  f"{'batched ns':>10} {'ratio':>7}")
+        for name in wb_pairs:
+            nobatch = cur["BM_Orec_Update_NoBatch" +
+                          name[len("BM_Orec_Update_Counter"):]]
+            batched = cur[name]
+            if nobatch <= 0:
+                continue
+            ratio = batched / nobatch
+            verdict = ("REGRESSION" if ratio > args.writeback_gate
+                       else "ok")
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {nobatch:>10.2f} {batched:>10.2f} "
                   f"{ratio:>6.2f}x  {verdict}")
 
         print(f"\n{driver} (tolerance {args.tolerance:g}x):")
