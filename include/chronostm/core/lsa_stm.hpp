@@ -1033,8 +1033,11 @@ class Transaction {
             // old-version fallback, which returns the still-valid version
             // we first read. First choice otherwise: lazily extend the
             // snapshot to the present.
-            if (dup == nullptr && cfg_.read_extension && try_extend())
-                continue;
+            bool conflict = false;
+            if (dup == nullptr && cfg_.read_extension) {
+                if (try_extend()) continue;
+                conflict = extend_conflict_;
+            }
             // Fall back to an old version -- only useful to transactions
             // that have not written yet (an update transaction must commit
             // "in the present", which a stale snapshot cannot reach).
@@ -1042,10 +1045,14 @@ class Transaction {
                 T v{};
                 if (read_old_version(var, w1, v)) return v;
             }
-            // Freshness abort: the version is too new for the snapshot and
-            // the snapshot could not move forward. run() may draw-and-
+            // The version is too new for the snapshot and the snapshot
+            // could not move forward. WHY it could not decides the abort
+            // class: a failed read-set walk means a writer hit our reads
+            // (conflict -- backoff resolves it, the retry must not drain
+            // stamp blocks), while time-not-advanced and the unusable-
+            // old-version case are freshness -- run() may draw-and-
             // discard a stamp so batched/sharded counters advance.
-            throw detail::AbortTx{true};
+            throw detail::AbortTx{!conflict};
         }
     }
 
@@ -1089,7 +1096,14 @@ class Transaction {
     // drew its commit stamp after nu -- the deviation-aware admission rule
     // then keeps its versions out of the extended snapshot. See DESIGN.md
     // "Commit-epoch filter soundness".
+    // Failure reason is recorded in extend_conflict_: false means time
+    // simply has not advanced past upper_ (a FRESHNESS condition), true
+    // means walk_read_set() found a changed or locked read-set word (a
+    // data CONFLICT -- per the abort taxonomy in DESIGN.md, backoff
+    // resolves it and the retry must not drain batched/sharded stamp
+    // blocks with a forced draw).
     bool try_extend() {
+        extend_conflict_ = false;
         std::uint64_t nu = clk_.get_time();
         nu = std::min(nu, upper_cap_);
         if (nu <= upper_) return false;
@@ -1102,7 +1116,10 @@ class Transaction {
                     1, std::memory_order_relaxed);
                 return true;
             }
-            if (!walk_read_set()) return false;
+            if (!walk_read_set()) {
+                extend_conflict_ = true;
+                return false;
+            }
             upper_ = nu;
             // Re-anchor to the pre-walk epoch: any bump <= e whose publish
             // the walk did not see keeps its var locked until that publish,
@@ -1111,7 +1128,10 @@ class Transaction {
             stats_->extensions.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
-        if (!walk_read_set()) return false;
+        if (!walk_read_set()) {
+            extend_conflict_ = true;
+            return false;
+        }
         upper_ = nu;
         stats_->extensions.fetch_add(1, std::memory_order_relaxed);
         return true;
@@ -1283,13 +1303,31 @@ class Transaction {
                 epoch_->fetch_add(1, std::memory_order_acq_rel) ==
                 validated_at_epoch_;
         const std::uint64_t commit_ts = clk_.get_new_ts();
+        // Re-check the epoch AFTER drawing commit_ts: the fetch_add alone
+        // proves the read set clean only up to the bump, but the commit
+        // serializes at commit_ts, drawn later. A writer that bumps in
+        // between may draw a SMALLER stamp (draw order on the shared
+        // counter is not fixed by bump order) and publish into our read
+        // set below commit_ts. Requiring the post-draw load to still show
+        // only our own bump closes that window: a foreign writer whose
+        // counter RMW preceded ours has its bump ordered before this load
+        // (bump -> its draw -> our draw -> this load), so any writer the
+        // load misses drew its stamp after ours -- the same residual
+        // class a post-draw walk admits (a walk cannot see a writer that
+        // locks after it runs). See DESIGN.md "Commit-epoch filter
+        // soundness".
+        if (epoch_clean &&
+            epoch_->load(std::memory_order_acquire) !=
+                validated_at_epoch_ + 1)
+            epoch_clean = false;
 
         // Commit-time validation: if no other writer committed since this
-        // transaction last validated (epoch unchanged up to our own bump),
-        // no read-set word can have changed -- skip the O(R) walk. Our own
-        // locks are covered too: we could only have locked a read var
-        // whose word was still the one we admitted (the lock CAS saved it
-        // in locked_word and nobody else bumped).
+        // transaction last validated (epoch unchanged up to our own bump,
+        // re-confirmed after the stamp draw), no read-set word can have
+        // changed -- skip the O(R) walk. Our own locks are covered too:
+        // we could only have locked a read var whose word was still the
+        // one we admitted (the lock CAS saved it in locked_word and
+        // nobody else bumped).
         bool reads_valid;
         if (epoch_clean) {
             reads_valid = true;
@@ -1434,6 +1472,10 @@ class Transaction {
     // the snapshot (lower_ > commit_ts); run() treats that retry as a
     // freshness abort and draws the time base forward.
     bool commit_stamp_stale_ = false;
+    // Why the last try_extend() returned false: true when the read-set
+    // walk found a changed word (conflict), false when time had not
+    // advanced (freshness). Reset at every try_extend() entry.
+    bool extend_conflict_ = false;
 };
 
 template <typename T>

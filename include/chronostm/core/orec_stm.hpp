@@ -475,7 +475,12 @@ class OrecTransaction {
     // the TVar core's try_extend -- `nu` drawn before the epoch load, and
     // on the walk path a re-anchor to the pre-walk epoch. See DESIGN.md
     // "Commit-epoch filter soundness".
+    // Failure reason lands in extend_conflict_: false = time has not
+    // advanced past upper_ (freshness), true = the read-set walk found a
+    // changed or locked orec (conflict -- backoff resolves it; see the
+    // abort taxonomy in DESIGN.md).
     bool try_extend() {
+        extend_conflict_ = false;
         const std::uint64_t nu = clk_.get_time();
         if (nu <= upper_) return false;
         if (cfg_.epoch_filter) {
@@ -487,16 +492,32 @@ class OrecTransaction {
                     1, std::memory_order_relaxed);
                 return true;
             }
-            if (!walk_read_set()) return false;
+            if (!walk_read_set()) {
+                extend_conflict_ = true;
+                return false;
+            }
             upper_ = nu;
             validated_at_epoch_ = e;
             stats_->extensions.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
-        if (!walk_read_set()) return false;
+        if (!walk_read_set()) {
+            extend_conflict_ = true;
+            return false;
+        }
         upper_ = nu;
         stats_->extensions.fetch_add(1, std::memory_order_relaxed);
         return true;
+    }
+
+    // Cold continuation of load_validated's admission miss: returns only
+    // when extension succeeded (the caller retries the read), otherwise
+    // aborts, classed by why the extension failed (see try_extend).
+    // Outlined so the per-read hot path's code size and alignment do not
+    // depend on the extension/abort machinery.
+    __attribute__((noinline)) void extend_or_abort() {
+        if (cfg_.read_extension && try_extend()) return;
+        throw detail::AbortTx{!extend_conflict_};
     }
 
     // Full O(R) read-set validation against the current orec words.
@@ -543,6 +564,10 @@ class OrecTransaction {
     // the snapshot (lower_ > commit_ts); run() treats that retry as a
     // freshness abort and draws the time base forward.
     bool commit_stamp_stale_ = false;
+    // Why the last try_extend() returned false: true when the read-set
+    // walk found a changed word (conflict), false when time had not
+    // advanced (freshness). Reset at every try_extend() entry.
+    bool extend_conflict_ = false;
 };
 
 // Per-thread handle: thread clock, stats block, pooled access sets. One
@@ -795,11 +820,13 @@ inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
         }
         // Too new for the snapshot: extend to the present (revalidating
         // the read set) and retry. No multi-version fallback here -- the
-        // orec table keeps no history -- so failure to extend is a
-        // FRESHNESS abort: run() may draw-and-discard a stamp so
+        // orec table keeps no history -- so failure to extend aborts. The
+        // extension's failure reason decides the class: a failed read-set
+        // walk is a data CONFLICT (backoff resolves it; the retry must
+        // not drain batched/sharded stamp blocks), while time-not-
+        // advanced is FRESHNESS -- run() may draw-and-discard a stamp so
         // batched/sharded counters advance.
-        if (cfg_.read_extension && try_extend()) continue;
-        throw detail::AbortTx{true};
+        extend_or_abort();
     }
 }
 
@@ -917,11 +944,23 @@ inline bool OrecTransaction::commit() {
     // carry it, so recording a stamp of a failed commit is inert.
     const std::uint64_t commit_ts = clk_.get_new_ts();
     recent_->push(commit_ts);
+    // Re-check the epoch AFTER drawing commit_ts: the fetch_add proves
+    // the read set clean only up to the bump, but the commit serializes
+    // at commit_ts, drawn later. A writer bumping in between may draw a
+    // SMALLER stamp and publish into our read set below commit_ts; the
+    // post-draw load must still show only our own bump. A writer it
+    // misses drew after us (its counter RMW following ours orders its
+    // bump before this load) -- the same residual class a post-draw walk
+    // admits. See DESIGN.md "Commit-epoch filter soundness".
+    if (epoch_clean && epoch_->load(std::memory_order_acquire) !=
+                           validated_at_epoch_ + 1)
+        epoch_clean = false;
 
-    // Commit-time validation: epoch unchanged up to our own bump means no
-    // other writer committed since this transaction last validated, so no
-    // read-set word can have changed (own locks included: we could only
-    // have locked an orec whose word was still the admitted one).
+    // Commit-time validation: epoch unchanged up to our own bump
+    // (re-confirmed after the stamp draw) means no other writer committed
+    // since this transaction last validated, so no read-set word can have
+    // changed (own locks included: we could only have locked an orec
+    // whose word was still the admitted one).
     bool reads_valid;
     if (epoch_clean) {
         reads_valid = true;

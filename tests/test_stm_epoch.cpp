@@ -14,6 +14,10 @@
 //     (the original livelock), while conflict aborts must NOT drain the
 //     stamp blocks
 //   * bounded backoff actually runs on conflict retries (backoff_us)
+//   * commit-side epoch race: a read-x/write-y copier racing an
+//     incrementer of x must never certify a stale x through the commit
+//     fast path (the post-stamp-draw epoch re-check), caught by a
+//     cross-snapshot monotonicity oracle
 //   * adversarial writer-vs-reader invariant sweeps over shared, batched
 //     and sharded time bases on both engines, filter on and off; filter
 //     off must report zero fast hits (the walk runs every time)
@@ -279,6 +283,81 @@ TxStats adversarial_cell(const std::string& spec, Cfg cfg) {
     return st;
 }
 
+// Commit-side epoch race (the REVIEW fix): a copier reads x and writes y
+// (disjoint write sets, so locks never order it against the x-writer)
+// while an incrementer bumps x. The unsound fast path decided epoch
+// cleanliness at the bump but serialized at a stamp drawn later; a
+// writer bumping in that window could draw a SMALLER stamp and publish
+// into the copier's read set below its commit stamp, letting the copier
+// certify a stale x. Oracle: a checker snapshots (a=x, b=y) -- x first,
+// then y, so its final time sample precedes any copier stamp it misses
+// -- and whenever the copy changes between consecutive snapshots, the
+// new copy must be >= the x of the PREVIOUS snapshot: the copier that
+// produced it serialized after that snapshot, and x is monotone. LSA
+// runs with max_versions=1 (an old-version fallback would let a later
+// checker legitimately serialize before an earlier one, which the
+// cross-snapshot comparison cannot distinguish from the race).
+template <typename A, typename Cfg>
+void copier_race_cell(const std::string& spec, Cfg cfg) {
+    A adapter(tb::make(spec), cfg);
+    alignas(64) typename A::template Var<long> x(0);
+    alignas(64) typename A::template Var<long> y(0);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> inversions{0};
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {  // incrementer of x
+        auto ctx = adapter.make_context();
+        while (!stop.load(std::memory_order_acquire))
+            adapter.run(ctx, [&](typename A::Txn& tx) {
+                tx.write(x, tx.read(x) + 1);
+            });
+    });
+    threads.emplace_back([&] {  // copier: reads x, writes y
+        auto ctx = adapter.make_context();
+        while (!stop.load(std::memory_order_acquire))
+            adapter.run(ctx, [&](typename A::Txn& tx) {
+                tx.write(y, tx.read(x));
+            });
+    });
+    threads.emplace_back([&] {  // checker
+        auto ctx = adapter.make_context();
+        bool have_prev = false;
+        long prev_a = 0, prev_b = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            long a = 0, b = 0;
+            adapter.run(ctx, [&](typename A::Txn& tx) {
+                a = tx.read(x);
+                b = tx.read(y);
+            });
+            if (have_prev && b != prev_b && b < prev_a)
+                inversions.fetch_add(1, std::memory_order_relaxed);
+            have_prev = true;
+            prev_a = a;
+            prev_b = b;
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    CHECK_MSG(inversions.load() == 0,
+              "%d stale-commit inversions on %s (copy went backwards past "
+              "an observed x)",
+              inversions.load(), spec.c_str());
+    CHECK(y.unsafe_peek() <= x.unsafe_peek());
+    CHECK(adapter.collected_stats().commits() > 0);
+}
+
+void check_copier_race() {
+    for (const char* spec : {"shared", "batched:B=8", "sharded:S=4"}) {
+        StmConfig lsa;
+        lsa.max_versions = 1;
+        copier_race_cell<stm::LsaAdapter>(spec, lsa);
+        copier_race_cell<stm::OrecAdapter>(spec, OrecConfig{});
+    }
+}
+
 void check_adversarial_sweep() {
     for (const char* spec : {"shared", "batched:B=8", "sharded:S=4"}) {
         adversarial_cell<stm::LsaAdapter>(spec, StmConfig{});
@@ -309,6 +388,7 @@ int main() {
     check_ro_commit_no_stamp();
     check_freshness_draw_unsticks_batched_reader();
     check_conflict_aborts_draw_nothing();
+    check_copier_race();
     check_adversarial_sweep();
     std::printf("test_stm_epoch: PASS\n");
     return 0;
