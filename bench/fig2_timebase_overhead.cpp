@@ -63,17 +63,19 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
 // figure can be re-run on the orec engine with --engine=orec. CI also
 // re-runs it once with --epoch-filter=off to keep the full-walk
 // validation path exercised.
-Point measure_engine(bool orec, bool epoch_filter, const std::string& spec,
-                     unsigned threads, unsigned accesses,
-                     double duration_ms) {
+Point measure_engine(bool orec, bool epoch_filter, unsigned irrev_threshold,
+                     const std::string& spec, unsigned threads,
+                     unsigned accesses, double duration_ms) {
     if (orec) {
         OrecConfig cfg;
         cfg.epoch_filter = epoch_filter;
+        cfg.irrevocable_threshold = irrev_threshold;
         stm::OrecAdapter a(tb::make(spec), cfg);
         return measure(a, threads, accesses, duration_ms);
     }
     StmConfig cfg;
     cfg.epoch_filter = epoch_filter;
+    cfg.irrevocable_threshold = irrev_threshold;
     stm::LsaAdapter a(tb::make(spec), cfg);
     return measure(a, threads, accesses, duration_ms);
 }
@@ -85,6 +87,8 @@ int main(int argc, char** argv) {
     wl::flag_timebase(cli, "shared,batched:B=8,sharded:S=4,mmtimer,perfect");
     wl::flag_engine(cli);
     wl::flag_epoch_filter(cli);
+    wl::flag_irrevocable_threshold(cli);
+    wl::flag_chaos_seed(cli);
     cli.flag_i64("duration-ms", 300, "measured window per point")
         .flag_i64("max-threads", 0, "cap thread sweep (0 = paper's 16)")
         .flag_i64("objects", 256, "objects per thread partition")
@@ -94,12 +98,18 @@ int main(int argc, char** argv) {
         wl::validate_timebase_flag(cli);
         wl::validate_engine_flag(cli);
         wl::epoch_filter_enabled(cli);
+        wl::irrevocable_threshold_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const bool orec = wl::engine_is_orec(cli);
     const bool epoch_filter = wl::epoch_filter_enabled(cli);
+    const unsigned irrev_threshold = wl::irrevocable_threshold_flag(cli);
+#ifdef CHRONOSTM_FAILPOINTS
+    if (cli.i64("chaos-seed") != 0)
+        fp::set_seed(static_cast<std::uint64_t>(cli.i64("chaos-seed")));
+#endif
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const auto tb_specs = tb::split_specs(cli.str("timebase"));
     const auto sweep = wl::figure2_thread_sweep(
@@ -150,8 +160,8 @@ int main(int argc, char** argv) {
             json.obj_begin().kv("threads", n).key("series").arr_begin();
             for (std::size_t i = 0; i < tb_specs.size(); ++i) {
                 const Point p = measure_engine(orec, epoch_filter,
-                                               tb_specs[i], n, accesses,
-                                               duration);
+                                               irrev_threshold, tb_specs[i],
+                                               n, accesses, duration);
                 series[i].push_back(p.mtx);
                 row.push_back(Table::num(p.mtx, 3));
                 json.obj_begin()

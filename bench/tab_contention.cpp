@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
     Cli cli("contention-manager comparison on a hot-spot bank");
     wl::flag_timebase(cli, "perfect");
     wl::flag_engine(cli);
+    wl::flag_irrevocable_threshold(cli);
+    wl::flag_chaos_seed(cli);
     cli.flag_i64("threads", 4, "worker threads")
         .flag_i64("accounts", 16, "accounts (small = hot)")
         .flag_f64("zipf", 0.9, "access skew")
@@ -32,10 +34,16 @@ int main(int argc, char** argv) {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
         wl::validate_engine_flag(cli);
+        wl::irrevocable_threshold_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+    const unsigned irrev_threshold = wl::irrevocable_threshold_flag(cli);
+#ifdef CHRONOSTM_FAILPOINTS
+    if (cli.i64("chaos-seed") != 0)
+        fp::set_seed(static_cast<std::uint64_t>(cli.i64("chaos-seed")));
+#endif
     const auto threads = static_cast<unsigned>(cli.i64("threads"));
     const auto accounts = static_cast<unsigned>(cli.i64("accounts"));
     const double zipf = cli.f64("zipf");
@@ -66,6 +74,7 @@ int main(int argc, char** argv) {
          {"suicide", "aggressive", "polite", "karma", "timestamp"}) {
         StmConfig cfg;
         cfg.contention_manager = policy;
+        cfg.irrevocable_threshold = irrev_threshold;
         A adapter(tb::make(tb_spec), cfg);
         wl::Bank<A> bank(accounts, 1000, zipf);
 
@@ -103,7 +112,9 @@ int main(int argc, char** argv) {
     // it as a reference row against the LSA policies, same workload.
     if (wl::engine_is_orec(cli)) {
         using O = stm::OrecAdapter;
-        O adapter(tb::make(tb_spec));
+        OrecConfig ocfg;
+        ocfg.irrevocable_threshold = irrev_threshold;
+        O adapter(tb::make(tb_spec), ocfg);
         wl::Bank<O> bank(accounts, 1000, zipf);
 
         wl::RunSpec spec;

@@ -145,6 +145,11 @@ int main(int argc, char** argv) {
             x.validation_fast_hits + y.validation_fast_hits;
         s.ro_commits = x.ro_commits + y.ro_commits;
         s.backoff_us = x.backoff_us + y.backoff_us;
+        s.irrevocable_commits = x.irrevocable_commits + y.irrevocable_commits;
+        s.escalations = x.escalations + y.escalations;
+        s.stall_waits = x.stall_waits + y.stall_waits;
+        s.stalled_aborts = x.stalled_aborts + y.stalled_aborts;
+        s.injected_faults = x.injected_faults + y.injected_faults;
         return s;
     };
     const auto emit = [&](const char* name, double hs, double au,

@@ -79,6 +79,7 @@
 #include <vector>
 
 #include <chronostm/timebase/facade.hpp>
+#include <chronostm/util/failpoints.hpp>
 #include <chronostm/util/pause.hpp>
 
 namespace chronostm {
@@ -127,6 +128,14 @@ struct StmConfig {
     bool epoch_filter = true;
     // Bounded retry: run() throws after this many consecutive aborts.
     unsigned max_retries = 1'000'000;
+    // Graceful-degradation ladder, final rung: after this many consecutive
+    // aborts of one transaction, run() escalates it to irrevocable serial
+    // mode -- it claims the engine-global irrevocability token, drains
+    // in-flight update commits, and reruns against a quiescent commit
+    // pipeline where nothing can abort it, bounding worst-case latency.
+    // 0 disables escalation entirely (retry exhaustion then throws
+    // RetryExhausted). Must be well below max_retries to be useful.
+    unsigned irrevocable_threshold = 64;
     // Test-only: invoked on the committing thread right after its
     // descriptor is published as Committed (claims armed) and before it
     // applies its own write set -- lets tests freeze a committer at the
@@ -183,9 +192,52 @@ class TxStats {
     // down to microseconds from an internal nanosecond accumulator.
     std::uint64_t backoff_us = 0;
 
+    // Degradation-ladder traffic. `escalations` counts acquisitions of the
+    // engine-global irrevocability token (auto-escalation in run() plus
+    // explicit become_irrevocable calls); `irrevocable_commits` the commits
+    // that happened while holding it. `stall_waits` counts lock waits that
+    // outlived the polite spin budget (the owner looked preempted);
+    // `stalled_aborts` the subset that gave up on a provably stalled owner
+    // and aborted through the contention seam. `injected_faults` counts
+    // failpoint activations charged to this context (always 0 unless built
+    // with CHRONOSTM_FAILPOINTS).
+    std::uint64_t irrevocable_commits = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t stall_waits = 0;
+    std::uint64_t stalled_aborts = 0;
+    std::uint64_t injected_faults = 0;
+
  private:
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;
+};
+
+// Retry-budget exhaustion: run() aborted max_retries consecutive times
+// without the degradation ladder rescuing the transaction (only possible
+// when irrevocable_threshold is 0 or above max_retries). Carries the
+// context's counters at throw time plus the failed transaction's own abort
+// taxonomy, so callers can tell livelock (conflict-dominated: backoff and
+// contention management lost) from time-base starvation (freshness-
+// dominated: the snapshot could never reach the present).
+class RetryExhausted : public std::runtime_error {
+ public:
+    RetryExhausted(const char* engine, TxStats snapshot,
+                   std::uint64_t conflicts, std::uint64_t freshness)
+        : std::runtime_error(std::string("chronostm: ") + engine +
+                             " transaction exceeded retry bound (" +
+                             std::to_string(conflicts) + " conflict / " +
+                             std::to_string(freshness) +
+                             " freshness aborts)"),
+          stats(snapshot),
+          conflict_aborts(conflicts),
+          freshness_aborts(freshness) {}
+
+    // Context counters at throw time (commits/aborts cover the whole
+    // context, not just the failed transaction).
+    TxStats stats;
+    // The failed transaction's aborts split by class; sums to max_retries.
+    std::uint64_t conflict_aborts;
+    std::uint64_t freshness_aborts;
 };
 
 namespace detail {
@@ -218,6 +270,11 @@ struct StatsBlock {
     std::atomic<std::uint64_t> ro_commits{0};
     // Nanoseconds internally; TxStats surfaces microseconds.
     std::atomic<std::uint64_t> backoff_ns{0};
+    std::atomic<std::uint64_t> irrevocable_commits{0};
+    std::atomic<std::uint64_t> escalations{0};
+    std::atomic<std::uint64_t> stall_waits{0};
+    std::atomic<std::uint64_t> stalled_aborts{0};
+    std::atomic<std::uint64_t> injected_faults{0};
 };
 
 // Accumulate one stats block's fast-path counters into a TxStats; shared
@@ -230,7 +287,105 @@ inline void fill_fast_path_stats(TxStats& s, const StatsBlock& b) {
         b.validation_fast_hits.load(std::memory_order_relaxed);
     s.ro_commits += b.ro_commits.load(std::memory_order_relaxed);
     s.backoff_us += b.backoff_ns.load(std::memory_order_relaxed) / 1000;
+    s.irrevocable_commits +=
+        b.irrevocable_commits.load(std::memory_order_relaxed);
+    s.escalations += b.escalations.load(std::memory_order_relaxed);
+    s.stall_waits += b.stall_waits.load(std::memory_order_relaxed);
+    s.stalled_aborts += b.stalled_aborts.load(std::memory_order_relaxed);
+    s.injected_faults += b.injected_faults.load(std::memory_order_relaxed);
 }
+
+// Engine-global irrevocability gate. Word layout: bit 0 holds the
+// irrevocability token, the upper bits count update commits currently in
+// flight (each worth 2). Update commits enter before taking their first
+// lock and leave after their last unlock or rollback; a transaction that
+// escalates first claims the token bit (stalling NEW committers at the
+// gate) and then waits for the in-flight count to drain to zero, so the
+// irrevocable attempt runs against a quiescent commit pipeline: no lock is
+// held by anyone else, no version can change under its feet, and its own
+// commit needs no validation. Read-only commits never touch the gate --
+// they cannot invalidate anything.
+struct IrrevGate {
+    std::atomic<std::uint64_t> word{0};
+    // Identity of the current token holder (the TxDesc in the LSA engine,
+    // the thread context in the orec engine) so conflict arbitration can
+    // exempt it from kills.
+    std::atomic<const void*> holder{nullptr};
+
+    void enter_commit() {
+        std::uint64_t w = word.load(std::memory_order_relaxed);
+        for (;;) {
+            if (w & 1u) {
+                // An irrevocable transaction is running; it is guaranteed
+                // to finish, so waiting here is bounded.
+                std::this_thread::yield();
+                w = word.load(std::memory_order_relaxed);
+                continue;
+            }
+            if (word.compare_exchange_weak(w, w + 2,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+                return;
+        }
+    }
+    void exit_commit() { word.fetch_sub(2, std::memory_order_acq_rel); }
+
+    void acquire(const void* who) {
+        std::uint64_t w = word.load(std::memory_order_relaxed);
+        for (;;) {
+            if (w & 1u) {  // one irrevocable transaction at a time
+                std::this_thread::yield();
+                w = word.load(std::memory_order_relaxed);
+                continue;
+            }
+            if (word.compare_exchange_weak(w, w | 1u,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+                break;
+        }
+        holder.store(who, std::memory_order_release);
+        // Drain: in-flight committers finish (or roll back) on their own;
+        // none of them can block on us because we hold no locks yet.
+        std::uint64_t spins = 0;
+        while (word.load(std::memory_order_acquire) >> 1 != 0) {
+            cpu_relax();
+            if ((++spins & 63u) == 0) std::this_thread::yield();
+        }
+    }
+    void release() {
+        holder.store(nullptr, std::memory_order_release);
+        word.fetch_and(~std::uint64_t{1}, std::memory_order_acq_rel);
+    }
+    bool held_by(const void* who) const {
+        return who != nullptr &&
+               holder.load(std::memory_order_acquire) == who;
+    }
+};
+
+// Exception-safe gate exit: commit() arms this after enter_commit() so
+// every path out -- success, rollback returns, AbortTx, or a throwing
+// value copy during write-back -- decrements the in-flight count.
+struct GateGuard {
+    IrrevGate* gate = nullptr;
+    ~GateGuard() {
+        if (gate) gate->exit_commit();
+    }
+};
+
+// Exception-safe token release for run(): the normal commit path releases
+// the token in txn_commit; this guard covers abnormal exits (an exception
+// escaping the user functor while escalated must not leave the engine
+// wedged behind a stuck token).
+struct TokenGuard {
+    IrrevGate* gate = nullptr;
+    bool* held = nullptr;
+    ~TokenGuard() {
+        if (held != nullptr && *held) {
+            gate->release();
+            *held = false;
+        }
+    }
+};
 
 // Commit descriptor life cycle. Kill CASes are only legal from Locking or
 // NeedTs; Committed is the point of no return.
@@ -874,7 +1029,32 @@ class Transaction {
     Transaction& operator=(const Transaction&) = delete;
 
     // Explicit early abort: unwinds out of the user lambda; run() retries.
+    // Note that abort() defeats the degradation ladder by design: an
+    // irrevocable attempt that the user functor aborts retries irrevocably.
     [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+    // Escalate this attempt to irrevocable serial mode mid-flight: claim
+    // the engine-global token, drain in-flight update commits, then
+    // re-validate the snapshot once against the now-quiescent heap. On
+    // validation failure the attempt aborts (conflict class) but the token
+    // stays with the owning context, so the retry runs irrevocably from
+    // its first read. Idempotent; from here to commit nothing can abort
+    // this transaction.
+    void become_irrevocable() {
+        if (irrevocable_) return;
+        if (!*token_held_) {
+            gate_->acquire(desc_);
+            *token_held_ = true;
+            stats_->escalations.fetch_add(1, std::memory_order_relaxed);
+        }
+        // A snapshot that fell back to old versions cannot serialize in
+        // the present; everything else is settled by one full validation
+        // walk -- after it succeeds no commit can run until we release.
+        if (read_old_ || !walk_read_set()) throw detail::AbortTx{};
+        irrevocable_ = true;
+    }
+
+    bool irrevocable() const { return irrevocable_; }
 
     std::uint64_t snapshot_lower() const { return lower_; }
     std::uint64_t snapshot_upper() const { return upper_; }
@@ -908,10 +1088,13 @@ class Transaction {
     Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
                 std::uint64_t dev, detail::StatsBlock* stats,
                 detail::TxDesc* desc, detail::AccessSets* sets,
-                std::atomic<std::uint64_t>* epoch)
+                std::atomic<std::uint64_t>* epoch,
+                detail::IrrevGate* gate, bool* token_held)
         : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
-          desc_(desc), sets_(sets), epoch_(epoch) {
+          desc_(desc), sets_(sets), epoch_(epoch), gate_(gate),
+          token_held_(token_held), irrevocable_(*token_held) {
         sets_->reset();
+        CHRONOSTM_FP_SINK(&stats_->injected_faults);
         // Epoch before time: a writer that commits between these two loads
         // shows up as an epoch mismatch (false negative, walk runs), never
         // as a stale fast hit.
@@ -951,39 +1134,67 @@ class Transaction {
             cm_ == CmPolicy::kAggressive
                 ? 64ull * cfg_.lock_spin
                 : static_cast<std::uint64_t>(cfg_.lock_spin);
+        bool counted_stall = false;
         for (;;) {
             const std::uint64_t w =
                 var->vlock_.load(std::memory_order_acquire);
             if (!(w & 1u)) return w;
             // If a manager killed *us* while we were stuck here, yield now
-            // (only possible while we hold locks, i.e. during commit).
-            if (desc_->status.load(std::memory_order_relaxed) ==
-                detail::kTxKilled)
+            // (only possible while we hold locks, i.e. during commit). The
+            // irrevocability-token holder is exempt: nothing may abort it.
+            if (!irrevocable_ &&
+                desc_->status.load(std::memory_order_relaxed) ==
+                    detail::kTxKilled)
                 throw detail::AbortTx{};
             auto* owner = decode_owner(w);
             if (cfg_.help_committers &&
                 detail::help_apply(owner, stats_))
                 continue;
+            // The token holder wins every arbitration: nobody kills it, and
+            // it never yields -- it outwaits (or helps) the lock owner,
+            // which is guaranteed to finish because an irrevocable attempt
+            // only ever meets locks of already-in-flight commits.
+            const bool owner_irrevocable = gate_->held_by(owner);
             switch (cm_) {
                 case CmPolicy::kSuicide:
-                    throw detail::AbortTx{};
+                    if (!irrevocable_) throw detail::AbortTx{};
+                    break;
                 case CmPolicy::kAggressive:
-                    try_kill(owner);
+                    if (!owner_irrevocable) try_kill(owner);
                     break;
                 case CmPolicy::kKarma:
-                    if (sets_->reads.size() + sets_->writes.size() >
-                        owner->karma.load(std::memory_order_relaxed))
+                    if (!owner_irrevocable &&
+                        sets_->reads.size() + sets_->writes.size() >
+                            owner->karma.load(std::memory_order_relaxed))
                         try_kill(owner);
                     break;
                 case CmPolicy::kTimestamp:
-                    if (start_ts_ <
-                        owner->start_ts.load(std::memory_order_relaxed))
+                    if (!owner_irrevocable &&
+                        start_ts_ <
+                            owner->start_ts.load(std::memory_order_relaxed))
                         try_kill(owner);
                     break;
                 case CmPolicy::kPolite:
                     break;
             }
-            if (++spins > budget) throw detail::AbortTx{};
+            ++spins;
+            // Outliving the polite spin budget means the owner looks
+            // preempted, not merely slow; record the stall once per wait.
+            if (spins > cfg_.lock_spin && !counted_stall) {
+                counted_stall = true;
+                stats_->stall_waits.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (spins > budget) {
+                if (irrevocable_) {
+                    spins = 0;  // unbounded wait; the owner must finish
+                } else {
+                    // Give up on the stalled owner and yield through the
+                    // contention seam (run() backs off, then escalates).
+                    stats_->stalled_aborts.fetch_add(
+                        1, std::memory_order_relaxed);
+                    throw detail::AbortTx{};
+                }
+            }
             cpu_relax();
             // Single-CPU hosts: the lock owner cannot run unless we yield.
             if ((spins & 255u) == 0) std::this_thread::yield();
@@ -994,6 +1205,25 @@ class Transaction {
     T read(TVar<T>& var) {
         if (auto* rec = find_write(&var))
             return static_cast<WriteRec<T>*>(rec)->value;
+
+        // Chaos harness: an armed lsa_read site may delay here or demand an
+        // injected abort; the token holder never honors the abort half.
+        if (CHRONOSTM_FAILPOINT(lsa_read) && !irrevocable_)
+            throw detail::AbortTx{};
+
+        if (irrevocable_) {
+            // Quiescent heap: no update commit can run while this
+            // transaction holds the token, so the current version IS the
+            // snapshot -- no admission check, no read-set bookkeeping, no
+            // seqlock recheck. Only lower_ advances, keeping the commit
+            // stamp above every version this attempt read (commit() pulls
+            // the time base forward if the drawn stamp lags it).
+            std::uint64_t w1 = var.vlock_.load(std::memory_order_acquire);
+            if (w1 & 1u) w1 = wait_on_foreign_lock(&var);
+            const T v = var.value_.load(std::memory_order_acquire);
+            lower_ = std::max(lower_, (w1 >> 1) + dev_);
+            return v;
+        }
 
         // Read-after-read dedup: if the var is already in the read set, the
         // admitted version is re-delivered and the read set stays as-is. On
@@ -1248,6 +1478,17 @@ class Transaction {
             writes_sorted_ = true;
         }
 
+        // Update commits run inside the irrevocability gate: held at the
+        // door while a token holder is active, counted in flight otherwise
+        // so an escalating transaction can drain the pipeline. The token
+        // holder itself skips the gate -- it IS the gate. The guard exits
+        // on every path out, including exceptions.
+        detail::GateGuard gate_guard;
+        if (!irrevocable_) {
+            gate_->enter_commit();
+            gate_guard.gate = gate_;
+        }
+
         auto* d = desc_;
         const std::uint64_t q = d->seq.load(std::memory_order_relaxed) + 1;
         d->karma.store(sets_->reads.size() + writes.size(),
@@ -1260,8 +1501,9 @@ class Transaction {
             for (; locked < writes.size(); ++locked) {
                 auto* rec = writes[locked];
                 for (;;) {
-                    if (d->status.load(std::memory_order_relaxed) ==
-                        detail::kTxKilled)
+                    if (!irrevocable_ &&
+                        d->status.load(std::memory_order_relaxed) ==
+                            detail::kTxKilled)
                         return rollback(locked);
                     std::uint64_t w =
                         rec->var->vlock_.load(std::memory_order_relaxed);
@@ -1281,15 +1523,26 @@ class Transaction {
             return rollback(locked);
         }
 
+        // Chaos harness: fake a committer preempted right after taking its
+        // last write lock, before anything is published.
+        (void)CHRONOSTM_FAILPOINT(lsa_commit_post_lock);
+
         // Locks held: draw the commit timestamp. It MUST be drawn after
         // the last lock is acquired -- a pre-lock stamp would let a reader
         // that began after the stamp accept our writes next to pre-lock
         // state it already read (see the timestamp-helping note above).
         int expect = detail::kTxLocking;
-        if (!d->status.compare_exchange_strong(expect, detail::kTxNeedTs,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_relaxed))
+        if (irrevocable_) {
+            // The token holder ignores stale kills (a racer holding a
+            // descriptor pointer from an earlier attempt): it cannot be
+            // aborted, so the status moves by plain store.
+            d->status.store(detail::kTxNeedTs, std::memory_order_release);
+        } else if (!d->status.compare_exchange_strong(
+                       expect, detail::kTxNeedTs,
+                       std::memory_order_acq_rel,
+                       std::memory_order_relaxed)) {
             return rollback(writes.size());  // killed while locking
+        }
         // Bump the commit epoch while every write lock is held and BEFORE
         // the stamp draw: a reader whose epoch check misses this bump drew
         // its extension time before our stamp existed, so admission keeps
@@ -1302,7 +1555,10 @@ class Transaction {
             epoch_clean =
                 epoch_->fetch_add(1, std::memory_order_acq_rel) ==
                 validated_at_epoch_;
-        const std::uint64_t commit_ts = clk_.get_new_ts();
+        // Chaos harness: stall in the window the epoch filter's post-draw
+        // re-check exists to close.
+        (void)CHRONOSTM_FAILPOINT(lsa_commit_pre_stamp);
+        std::uint64_t commit_ts = clk_.get_new_ts();
         // Re-check the epoch AFTER drawing commit_ts: the fetch_add alone
         // proves the read set clean only up to the bump, but the commit
         // serializes at commit_ts, drawn later. A writer that bumps in
@@ -1329,7 +1585,13 @@ class Transaction {
         // one we admitted (the lock CAS saved it in locked_word and
         // nobody else bumped).
         bool reads_valid;
-        if (epoch_clean) {
+        if (irrevocable_) {
+            // Token held since before this attempt's first read (or since
+            // a successful become_irrevocable walk): the commit pipeline
+            // has been quiescent throughout, so no read-set word can have
+            // changed -- validation is vacuous.
+            reads_valid = true;
+        } else if (epoch_clean) {
             reads_valid = true;
             stats_->validation_fast_hits.fetch_add(
                 1, std::memory_order_relaxed);
@@ -1353,11 +1615,22 @@ class Transaction {
         }
         if (!reads_valid) return rollback(writes.size());
         if (lower_ > commit_ts) {
-            // The stamp lags the snapshot's lower bound -- a time-base
-            // freshness problem (batched/sharded blocks), not a data
-            // conflict. Flag it so run() draws the counter forward.
-            commit_stamp_stale_ = true;
-            return rollback(writes.size());
+            if (irrevocable_) {
+                // The token holder cannot abort on a freshness problem:
+                // pull the time base forward by drawing (and discarding)
+                // stamps until the commit stamp clears the snapshot's
+                // lower bound. Each draw advances the counter, so this
+                // terminates.
+                do {
+                    commit_ts = clk_.get_new_ts();
+                } while (lower_ > commit_ts);
+            } else {
+                // The stamp lags the snapshot's lower bound -- a time-base
+                // freshness problem (batched/sharded blocks), not a data
+                // conflict. Flag it so run() draws the counter forward.
+                commit_stamp_stale_ = true;
+                return rollback(writes.size());
+            }
         }
 
         const unsigned keep_old =
@@ -1385,14 +1658,22 @@ class Transaction {
         d->seq.store(q, std::memory_order_relaxed);
 
         expect = detail::kTxNeedTs;
-        if (!d->status.compare_exchange_strong(expect, detail::kTxCommitted,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_relaxed))
+        if (irrevocable_) {
+            d->status.store(detail::kTxCommitted,
+                            std::memory_order_release);
+        } else if (!d->status.compare_exchange_strong(
+                       expect, detail::kTxCommitted,
+                       std::memory_order_acq_rel,
+                       std::memory_order_relaxed)) {
             return rollback(writes.size());  // killed at the buzzer
+        }
         for (std::size_t i = 0; i < writes.size(); ++i)
             slots[i].claim.store(2 * q, std::memory_order_release);
 
         if (cfg_.commit_publish_hook) cfg_.commit_publish_hook();
+        // Chaos harness: a committer parked here is decided but has
+        // applied nothing -- the window commit helping exists for.
+        (void)CHRONOSTM_FAILPOINT(lsa_commit_pre_writeback);
 
         // Claim-and-apply our own write set, racing helpers for each slot.
         // Batched write-back: claim every slot first, run the data stores
@@ -1418,6 +1699,8 @@ class Transaction {
             auto* rec = writes[claimed[i]];
             rec->apply_data(new_ts, rec->locked_word >> 1, keep_old);
         }
+        // Chaos harness: data applied, version words still locked.
+        (void)CHRONOSTM_FAILPOINT(lsa_commit_pre_unlock);
         // Fence #2: all data stores precede every version publish below
         // ([atomics.fences]: fence-release paired with the readers'
         // acquire loads of the version word).
@@ -1461,6 +1744,12 @@ class Transaction {
     detail::TxDesc* desc_;
     detail::AccessSets* sets_;
     std::atomic<std::uint64_t>* epoch_;
+    detail::IrrevGate* gate_;
+    // Owning context's token flag: true while the context holds the
+    // engine-global irrevocability token (it survives aborted attempts,
+    // so the retry of a failed escalation reruns irrevocably).
+    bool* token_held_;
+    bool irrevocable_ = false;
     std::uint64_t validated_at_epoch_ = 0;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
@@ -1501,8 +1790,14 @@ class ThreadContext {
     template <typename F>
     auto run(F&& f) {
         using R = std::invoke_result_t<F&, Transaction&>;
+        // Abnormal-exit insurance: an exception escaping the user functor
+        // (or the RetryExhausted below) while escalated must release the
+        // token; the normal commit path releases it in txn_commit first.
+        detail::TokenGuard token_guard{gate_, &token_held_};
+        std::uint64_t conflict_aborts = 0, freshness_aborts = 0;
         for (unsigned attempt = 0;; ++attempt) {
             bool freshness = false;
+            maybe_escalate(attempt);
             try {
                 Transaction tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
@@ -1517,11 +1812,26 @@ class ThreadContext {
                 stats_->aborts.fetch_add(1, std::memory_order_relaxed);
                 freshness = abort.freshness;
             }
+            freshness ? ++freshness_aborts : ++conflict_aborts;
             if (attempt + 1 >= cfg_.max_retries)
-                throw std::runtime_error(
-                    "chronostm: transaction exceeded retry bound");
+                throw RetryExhausted("lsa", stats(), conflict_aborts,
+                                     freshness_aborts);
             abort_pause(attempt, freshness);
         }
+    }
+
+    // Degradation ladder, final rung: once a transaction has aborted
+    // irrevocable_threshold times in a row, claim the engine-global token
+    // so the next attempt runs irrevocably (quiescent commit pipeline,
+    // guaranteed commit). The token stays with the context until a commit
+    // succeeds or run() unwinds.
+    void maybe_escalate(unsigned attempt) {
+        if (token_held_ || cfg_.irrevocable_threshold == 0 ||
+            attempt < cfg_.irrevocable_threshold)
+            return;
+        gate_->acquire(desc_.get());
+        token_held_ = true;
+        stats_->escalations.fetch_add(1, std::memory_order_relaxed);
     }
 
     // Post-abort pause, outlined so run()'s hot path (begin -> f ->
@@ -1563,12 +1873,20 @@ class ThreadContext {
     // reports success. Statistics are counted like run() does.
     Transaction txn_begin() {
         return Transaction(clk_, cfg_, cm_, dev_, stats_.get(),
-                               desc_.get(), &sets_, epoch_);
+                               desc_.get(), &sets_, epoch_, gate_,
+                               &token_held_);
     }
 
     bool txn_commit(Transaction& tx) {
         if (tx.commit()) {
             stats_->commits.fetch_add(1, std::memory_order_relaxed);
+            if (tx.irrevocable_)
+                stats_->irrevocable_commits.fetch_add(
+                    1, std::memory_order_relaxed);
+            if (token_held_) {
+                gate_->release();
+                token_held_ = false;
+            }
             return true;
         }
         stats_->aborts.fetch_add(1, std::memory_order_relaxed);
@@ -1593,14 +1911,16 @@ class ThreadContext {
                   std::uint64_t dev,
                   std::shared_ptr<detail::StatsBlock> stats,
                   std::shared_ptr<detail::TxDesc> desc,
-                  std::atomic<std::uint64_t>* epoch)
+                  std::atomic<std::uint64_t>* epoch,
+                  detail::IrrevGate* gate)
         : clk_(std::move(clk)),
           cfg_(cfg),
           cm_(cm),
           dev_(dev),
           stats_(std::move(stats)),
           desc_(std::move(desc)),
-          epoch_(epoch) {}
+          epoch_(epoch),
+          gate_(gate) {}
 
     Clock clk_;
     StmConfig cfg_;
@@ -1609,6 +1929,11 @@ class ThreadContext {
     std::shared_ptr<detail::StatsBlock> stats_;
     std::shared_ptr<detail::TxDesc> desc_;
     std::atomic<std::uint64_t>* epoch_;
+    detail::IrrevGate* gate_;
+    // True while this context holds the engine-global irrevocability
+    // token; survives aborted attempts so a failed escalation retries
+    // irrevocably instead of re-queuing for the token.
+    bool token_held_ = false;
     detail::AccessSets sets_;
 };
 
@@ -1643,7 +1968,8 @@ class LsaStm {
         // twice that bound.
         return ThreadContext(tbase_.make_thread_clock(), cfg_, cm_,
                                  2 * tbase_.deviation(), std::move(block),
-                                 std::move(desc), &commit_epoch_);
+                                 std::move(desc), &commit_epoch_,
+                                 &irrev_gate_);
     }
 
     // Aggregate counters over every context ever created.
@@ -1665,6 +1991,11 @@ class LsaStm {
         s.validation_fast_hits = partial.validation_fast_hits;
         s.ro_commits = partial.ro_commits;
         s.backoff_us = partial.backoff_us;
+        s.irrevocable_commits = partial.irrevocable_commits;
+        s.escalations = partial.escalations;
+        s.stall_waits = partial.stall_waits;
+        s.stalled_aborts = partial.stalled_aborts;
+        s.injected_faults = partial.injected_faults;
         return s;
     }
 
@@ -1678,6 +2009,12 @@ class LsaStm {
     CmPolicy contention_policy() const { return cm_; }
     tb::TimeBase& time_base() { return tbase_; }
 
+    // True while some transaction holds the irrevocability token; exposed
+    // for tests and instrumentation.
+    bool irrevocable_active() const {
+        return irrev_gate_.word.load(std::memory_order_acquire) & 1u;
+    }
+
  private:
     tb::TimeBase tbase_;
     StmConfig cfg_;
@@ -1685,6 +2022,9 @@ class LsaStm {
     // Own cache line: bumped by every writer commit, loaded on every
     // transaction begin and every filtered validation.
     alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
+    // Irrevocability gate (token bit + in-flight update-commit count);
+    // own cache line, touched twice per update commit.
+    alignas(64) detail::IrrevGate irrev_gate_;
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
     std::vector<std::shared_ptr<detail::TxDesc>> descs_;

@@ -78,11 +78,29 @@ struct OrecConfig {
     unsigned table_bits = 16;
     // Lazy snapshot extension on reads that find a too-new version.
     bool read_extension = true;
-    // Spins on a foreign orec lock before aborting (no contention
-    // managers here: locked words carry no owner identity to arbitrate).
+    // Spins on a foreign orec lock before stall detection starts (no
+    // contention managers here: locked words carry no owner identity to
+    // arbitrate, so the only lever is how long to wait before giving up).
     unsigned lock_spin = 256;
+    // Stalled-committer tolerance: once lock_spin polite spins are burnt
+    // the waiter anchors the time base and keeps spinning until EITHER
+    // the attempt budget (stall_spin_factor * lock_spin total spins) runs
+    // out OR the time base advances past the anchor by stall_ts_budget
+    // stamps while the orec stays locked -- other transactions committing
+    // around a lock that never moves is the provable-preemption signal.
+    // Both trip wires abort through the contention seam (stalled_aborts),
+    // handing the decision to run()'s backoff -> escalation ladder
+    // instead of spinning unboundedly behind a preempted committer.
+    unsigned stall_spin_factor = 64;
+    std::uint64_t stall_ts_budget = 64;
     // Bounded retry: run() throws after this many consecutive aborts.
     unsigned max_retries = 1'000'000;
+    // Graceful-degradation ladder, final rung: consecutive-abort count at
+    // which run() escalates the transaction to irrevocable serial mode
+    // (engine-global token, quiescent commit pipeline, guaranteed
+    // commit). 0 disables escalation (retry exhaustion then throws
+    // RetryExhausted). Must be well below max_retries to be useful.
+    unsigned irrevocable_threshold = 64;
     // Commit-epoch validation filter: writers bump one engine-global epoch
     // word while holding their orec locks; readers whose epoch snapshot is
     // unchanged skip the O(R) read-set walk in try_extend() and at commit.
@@ -323,7 +341,29 @@ class OrecTransaction {
     OrecTransaction(OrecTransaction&&) = default;
 
     // Explicit early abort: unwinds out of the user lambda; run() retries.
+    // Note that abort() defeats the degradation ladder by design: an
+    // irrevocable attempt that the user functor aborts retries irrevocably.
     [[noreturn]] void abort() { throw detail::AbortTx{}; }
+
+    // Escalate this attempt to irrevocable serial mode mid-flight: claim
+    // the engine-global token, drain in-flight update commits, then
+    // re-validate the snapshot once against the now-quiescent heap. On
+    // validation failure the attempt aborts (conflict class) but the token
+    // stays with the owning context, so the retry runs irrevocably from
+    // its first read. Idempotent; from here to commit nothing can abort
+    // this transaction.
+    void become_irrevocable() {
+        if (irrevocable_) return;
+        if (!*token_held_) {
+            gate_->acquire(token_held_);
+            *token_held_ = true;
+            stats_->escalations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!walk_read_set()) throw detail::AbortTx{};
+        irrevocable_ = true;
+    }
+
+    bool irrevocable() const { return irrevocable_; }
 
     std::uint64_t snapshot_lower() const { return lower_; }
     std::uint64_t snapshot_upper() const { return upper_; }
@@ -377,11 +417,14 @@ class OrecTransaction {
                     std::uint64_t dev, detail::StatsBlock* stats,
                     detail::OrecAccessSets* sets,
                     detail::RecentStamps* recent,
-                    std::atomic<std::uint64_t>* epoch)
+                    std::atomic<std::uint64_t>* epoch,
+                    detail::IrrevGate* gate, bool* token_held)
         : clk_(clk), cfg_(cfg), stm_(stm), dev_(dev), stats_(stats),
-          sets_(sets), recent_(recent), epoch_(epoch) {
+          sets_(sets), recent_(recent), epoch_(epoch), gate_(gate),
+          token_held_(token_held), irrevocable_(*token_held) {
         sets_->reset();
         cache_table();
+        CHRONOSTM_FP_SINK(&stats_->injected_faults);
         // Epoch before time: a writer that commits between these two loads
         // shows up as an epoch mismatch (false negative), never as a stale
         // fast hit.
@@ -528,12 +571,41 @@ class OrecTransaction {
             });
     }
 
-    // Bounded wait for a foreign in-place lock to clear. No descriptor to
-    // help or kill: past the spin budget the waiter aborts itself.
+    // Bounded wait for a foreign in-place lock to clear, with stall
+    // detection. No descriptor to help or kill: after cfg_.lock_spin
+    // polite spins the waiter anchors the time base (stall_waits) and
+    // tolerates the lock until either the total attempt budget runs out
+    // or the base advances stall_ts_budget stamps past the anchor while
+    // the orec stays locked -- the whole system committing around a lock
+    // that never moves proves the owner is preempted, not slow. Both trip
+    // wires abort through the contention seam (stalled_aborts) so run()'s
+    // ladder takes over. The irrevocability-token holder never aborts: it
+    // can only meet locks of already-in-flight commits, which are
+    // guaranteed to finish.
     void wait_on_locked_orec(const std::atomic<std::uint64_t>* o) {
         std::uint64_t spins = 0;
+        std::uint64_t anchor = 0;
+        bool stalled = false;
+        const std::uint64_t budget =
+            std::uint64_t{cfg_.lock_spin} *
+            std::max(2u, cfg_.stall_spin_factor);
         while (o->load(std::memory_order_acquire) & 1u) {
-            if (++spins > cfg_.lock_spin) throw detail::AbortTx{};
+            ++spins;
+            if (spins > cfg_.lock_spin && !irrevocable_) {
+                if (!stalled) {
+                    stalled = true;
+                    anchor = clk_.get_time();
+                    stats_->stall_waits.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                if (spins > budget ||
+                    ((spins & 63u) == 0 &&
+                     clk_.get_time() - anchor > cfg_.stall_ts_budget)) {
+                    stats_->stalled_aborts.fetch_add(
+                        1, std::memory_order_relaxed);
+                    throw detail::AbortTx{};
+                }
+            }
             cpu_relax();
             // Single-CPU hosts: the lock owner cannot run unless we yield.
             if ((spins & 63u) == 0) std::this_thread::yield();
@@ -553,6 +625,12 @@ class OrecTransaction {
     detail::OrecAccessSets* sets_;
     detail::RecentStamps* recent_;
     std::atomic<std::uint64_t>* epoch_;
+    detail::IrrevGate* gate_;
+    // Owning context's token flag: true while the context holds the
+    // engine-global irrevocability token (it survives aborted attempts,
+    // so the retry of a failed escalation reruns irrevocably).
+    bool* token_held_;
+    bool irrevocable_ = false;
     // Cached from stm_ at begin (immutable for the STM's lifetime).
     std::atomic<std::uint64_t>* tbl_ = nullptr;
     std::size_t tmask_ = 0;
@@ -581,8 +659,14 @@ class OrecThreadContext {
     template <typename F>
     auto run(F&& f) {
         using R = std::invoke_result_t<F&, OrecTransaction&>;
+        // Abnormal-exit insurance: an exception escaping the user functor
+        // (or the RetryExhausted below) while escalated must release the
+        // token; the normal commit path releases it in txn_commit first.
+        detail::TokenGuard token_guard{gate_, &token_held_};
+        std::uint64_t conflict_aborts = 0, freshness_aborts = 0;
         for (unsigned attempt = 0;; ++attempt) {
             bool freshness = false;
+            maybe_escalate(attempt);
             try {
                 OrecTransaction tx = txn_begin();
                 if constexpr (std::is_void_v<R>) {
@@ -597,11 +681,23 @@ class OrecThreadContext {
                 stats_->aborts.fetch_add(1, std::memory_order_relaxed);
                 freshness = abort.freshness;
             }
+            freshness ? ++freshness_aborts : ++conflict_aborts;
             if (attempt + 1 >= cfg_.max_retries)
-                throw std::runtime_error(
-                    "chronostm: orec transaction exceeded retry bound");
+                throw RetryExhausted("orec", stats(), conflict_aborts,
+                                     freshness_aborts);
             abort_pause(attempt, freshness);
         }
+    }
+
+    // Degradation ladder, final rung (see the TVar core's twin): claim the
+    // engine-global token so the next attempt runs irrevocably.
+    void maybe_escalate(unsigned attempt) {
+        if (token_held_ || cfg_.irrevocable_threshold == 0 ||
+            attempt < cfg_.irrevocable_threshold)
+            return;
+        gate_->acquire(&token_held_);
+        token_held_ = true;
+        stats_->escalations.fetch_add(1, std::memory_order_relaxed);
     }
 
     // Post-abort pause, outlined to keep run()'s no-abort hot path small
@@ -633,12 +729,20 @@ class OrecThreadContext {
 
     OrecTransaction txn_begin() {
         return OrecTransaction(clk_, cfg_, stm_, dev_, stats_.get(),
-                               &sets_, &recent_, epoch_);
+                               &sets_, &recent_, epoch_, gate_,
+                               &token_held_);
     }
 
     bool txn_commit(OrecTransaction& tx) {
         if (tx.commit()) {
             stats_->commits.fetch_add(1, std::memory_order_relaxed);
+            if (tx.irrevocable_)
+                stats_->irrevocable_commits.fetch_add(
+                    1, std::memory_order_relaxed);
+            if (token_held_) {
+                gate_->release();
+                token_held_ = false;
+            }
             return true;
         }
         stats_->aborts.fetch_add(1, std::memory_order_relaxed);
@@ -660,9 +764,10 @@ class OrecThreadContext {
     OrecThreadContext(Clock clk, const OrecConfig& cfg, OrecStm* stm,
                       std::uint64_t dev,
                       std::shared_ptr<detail::StatsBlock> stats,
-                      std::atomic<std::uint64_t>* epoch)
+                      std::atomic<std::uint64_t>* epoch,
+                      detail::IrrevGate* gate)
         : clk_(std::move(clk)), cfg_(cfg), stm_(stm), dev_(dev),
-          stats_(std::move(stats)), epoch_(epoch) {}
+          stats_(std::move(stats)), epoch_(epoch), gate_(gate) {}
 
     Clock clk_;
     OrecConfig cfg_;
@@ -670,6 +775,11 @@ class OrecThreadContext {
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
     std::atomic<std::uint64_t>* epoch_;
+    detail::IrrevGate* gate_;
+    // True while this context holds the engine-global irrevocability
+    // token; survives aborted attempts so a failed escalation retries
+    // irrevocably instead of re-queuing for the token.
+    bool token_held_ = false;
     detail::OrecAccessSets sets_;
     detail::RecentStamps recent_;
 };
@@ -710,7 +820,7 @@ class OrecStm {
         // snapshot's stamp may deviate by the published bound.
         return OrecThreadContext(tbase_.make_thread_clock(), cfg_, this,
                                  2 * tbase_.deviation(), std::move(block),
-                                 &commit_epoch_);
+                                 &commit_epoch_, &irrev_gate_);
     }
 
     TxStats collected_stats() const {
@@ -729,6 +839,11 @@ class OrecStm {
         s.validation_fast_hits = partial.validation_fast_hits;
         s.ro_commits = partial.ro_commits;
         s.backoff_us = partial.backoff_us;
+        s.irrevocable_commits = partial.irrevocable_commits;
+        s.escalations = partial.escalations;
+        s.stall_waits = partial.stall_waits;
+        s.stalled_aborts = partial.stalled_aborts;
+        s.injected_faults = partial.injected_faults;
         return s;
     }
 
@@ -742,6 +857,12 @@ class OrecStm {
     std::size_t table_size() const { return mask_ + 1; }
     tb::TimeBase& time_base() { return tbase_; }
 
+    // True while some transaction holds the irrevocability token; exposed
+    // for tests and instrumentation.
+    bool irrevocable_active() const {
+        return irrev_gate_.word.load(std::memory_order_acquire) & 1u;
+    }
+
  private:
     friend class OrecTransaction;
 
@@ -752,6 +873,9 @@ class OrecStm {
     // Own cache line: bumped by every writer commit, loaded on every
     // transaction begin and every filtered validation.
     alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
+    // Irrevocability gate (token bit + in-flight update-commit count);
+    // own cache line, touched twice per update commit.
+    alignas(64) detail::IrrevGate irrev_gate_;
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<detail::StatsBlock>> blocks_;
 };
@@ -770,6 +894,27 @@ inline std::atomic<std::uint64_t>* OrecTransaction::orec_of(
 
 inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
     auto* o = orec_of(gran);
+    // Chaos harness: an armed orec_read site may delay here or demand an
+    // injected abort; the token holder never honors the abort half.
+    if (CHRONOSTM_FAILPOINT(orec_read) && !irrevocable_)
+        throw detail::AbortTx{};
+    if (irrevocable_) {
+        // Quiescent heap: no update commit can run while this transaction
+        // holds the token, so the current granule image IS the snapshot --
+        // no admission check, no read-set bookkeeping, no seqlock recheck.
+        // Only lower_ advances, keeping the commit stamp above every
+        // version this attempt read (commit() pulls the time base forward
+        // if the drawn stamp lags it).
+        std::uint64_t w1 = o->load(std::memory_order_acquire);
+        while (w1 & 1u) {
+            wait_on_locked_orec(o);
+            w1 = o->load(std::memory_order_acquire);
+        }
+        const std::uint64_t v = __atomic_load_n(
+            static_cast<const std::uint64_t*>(gran), __ATOMIC_ACQUIRE);
+        lower_ = std::max(lower_, (w1 >> 1) + dev_);
+        return v;
+    }
     // Read-after-read dedup keyed by orec: a duplicate re-delivers under
     // the admitted word; a miss leaves the landing slot staged so
     // admission below is one store.
@@ -885,6 +1030,17 @@ inline bool OrecTransaction::commit() {
         writes_sorted_ = true;
     }
 
+    // Update commits run inside the irrevocability gate: held at the door
+    // while a token holder is active, counted in flight otherwise so an
+    // escalating transaction can drain the pipeline. The token holder
+    // itself skips the gate -- it IS the gate. The guard exits on every
+    // path out, including exceptions.
+    detail::GateGuard gate_guard;
+    if (!irrevocable_) {
+        gate_->enter_commit();
+        gate_guard.gate = gate_;
+    }
+
     // Lock phase. Granule-address order is deterministic across
     // transactions; two granules of one transaction may still share an
     // orec (table aliasing), which the ownership index turns into a
@@ -925,6 +1081,10 @@ inline bool OrecTransaction::commit() {
         return false;
     }
 
+    // Chaos harness: fake a committer preempted right after taking its
+    // last orec lock, before anything is published.
+    (void)CHRONOSTM_FAILPOINT(orec_commit_post_lock);
+
     // Bump the commit epoch while every orec lock is held and BEFORE the
     // stamp draw: a reader whose epoch check misses this bump drew its
     // extension time before our stamp existed, so the deviation-aware
@@ -937,12 +1097,16 @@ inline bool OrecTransaction::commit() {
         epoch_clean = epoch_->fetch_add(1, std::memory_order_acq_rel) ==
                       validated_at_epoch_;
 
+    // Chaos harness: stall in the window the epoch filter's post-draw
+    // re-check exists to close.
+    (void)CHRONOSTM_FAILPOINT(orec_commit_pre_stamp);
+
     // Locks held: draw the commit timestamp. Drawn after the LAST lock --
     // a pre-lock stamp would let a fresh reader accept these writes inside
     // a snapshot that still contains pre-lock state. Recorded as an own
     // stamp either way: uniqueness means no foreign version can ever
     // carry it, so recording a stamp of a failed commit is inert.
-    const std::uint64_t commit_ts = clk_.get_new_ts();
+    std::uint64_t commit_ts = clk_.get_new_ts();
     recent_->push(commit_ts);
     // Re-check the epoch AFTER drawing commit_ts: the fetch_add proves
     // the read set clean only up to the bump, but the commit serializes
@@ -962,7 +1126,13 @@ inline bool OrecTransaction::commit() {
     // changed (own locks included: we could only have locked an orec
     // whose word was still the admitted one).
     bool reads_valid;
-    if (epoch_clean) {
+    if (irrevocable_) {
+        // Token held since before this attempt's first read (or since a
+        // successful become_irrevocable walk): the commit pipeline has
+        // been quiescent throughout, so no read-set word can have changed
+        // -- validation is vacuous.
+        reads_valid = true;
+    } else if (epoch_clean) {
         reads_valid = true;
         stats_->validation_fast_hits.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -984,12 +1154,27 @@ inline bool OrecTransaction::commit() {
                 return false;
             });
     }
-    if (!reads_valid || lower_ > commit_ts) {
-        // A stamp that lags the snapshot is a time-base freshness problem
-        // (batched/sharded blocks), not a data conflict.
-        if (reads_valid) commit_stamp_stale_ = true;
+    if (!reads_valid) {
         rollback();
         return false;
+    }
+    if (lower_ > commit_ts) {
+        if (irrevocable_) {
+            // The token holder cannot abort on a freshness problem: pull
+            // the time base forward by drawing (and discarding) stamps
+            // until the commit stamp clears the snapshot's lower bound.
+            // Each draw advances the counter, so this terminates.
+            do {
+                commit_ts = clk_.get_new_ts();
+            } while (lower_ > commit_ts);
+            recent_->push(commit_ts);
+        } else {
+            // A stamp that lags the snapshot is a time-base freshness
+            // problem (batched/sharded blocks), not a data conflict.
+            commit_stamp_stale_ = true;
+            rollback();
+            return false;
+        }
     }
 
     // One stamp for the whole write set, bumped above every locked
@@ -1005,6 +1190,11 @@ inline bool OrecTransaction::commit() {
     // may write any byte of it until the publish below. The data pass
     // walks the granule-sorted write set, so aliased granules of one orec
     // all land before that orec's single publish.
+    // Chaos harness: a committer parked here is decided but has applied
+    // nothing -- and the orec engine has no helpers, so waiters must
+    // tolerate or abort around it.
+    (void)CHRONOSTM_FAILPOINT(orec_commit_pre_writeback);
+
     std::atomic_thread_fence(std::memory_order_release);
     for (const auto& rec : ws) {
         auto* gp = static_cast<std::uint64_t*>(rec.gran);
@@ -1017,6 +1207,8 @@ inline bool OrecTransaction::commit() {
                              __ATOMIC_RELAXED);
         }
     }
+    // Chaos harness: data applied, orec locks still held.
+    (void)CHRONOSTM_FAILPOINT(orec_commit_pre_unlock);
     if (cfg_.batched_writeback) {
         // Batched version publish: one release fence for the whole write
         // set, then relaxed stores -- each orec published exactly once

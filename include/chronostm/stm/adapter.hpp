@@ -84,6 +84,14 @@ class LsaAdapter {
 
         [[noreturn]] void abort() { tx_.abort(); }
 
+        // Escalate to irrevocable serial mode right now (see
+        // Transaction::become_irrevocable): claim the engine-global token,
+        // drain in-flight commits, revalidate once; from then on nothing
+        // can abort this transaction. May throw detail::AbortTx (the token
+        // survives into the retry, which reruns irrevocably).
+        void become_irrevocable() { tx_.become_irrevocable(); }
+        bool irrevocable() const { return tx_.irrevocable(); }
+
         Transaction& inner() { return tx_; }
 
      private:
@@ -158,6 +166,12 @@ class OrecAdapter {
         }
 
         [[noreturn]] void abort() { tx_.abort(); }
+
+        // Escalate to irrevocable serial mode right now (see
+        // OrecTransaction::become_irrevocable); same contract as the LSA
+        // adapter's spelling.
+        void become_irrevocable() { tx_.become_irrevocable(); }
+        bool irrevocable() const { return tx_.irrevocable(); }
 
         OrecTransaction& inner() { return tx_; }
 

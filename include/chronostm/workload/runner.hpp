@@ -92,10 +92,42 @@ inline bool epoch_filter_enabled(const Cli& cli) {
         "unknown --epoch-filter '" + v + "' (expected: on, off)");
 }
 
+// Degradation-ladder knob, uniform across engine drivers:
+// --irrevocable-threshold= maps onto StmConfig::irrevocable_threshold /
+// OrecConfig::irrevocable_threshold (consecutive aborts before run()
+// escalates a transaction to irrevocable serial mode; 0 disables).
+inline Cli& flag_irrevocable_threshold(Cli& cli, long long def = 64) {
+    return cli.flag_i64(
+        "irrevocable-threshold", def,
+        "consecutive aborts before escalating to irrevocable serial mode "
+        "(0 = never escalate; retry exhaustion throws RetryExhausted)");
+}
+
+inline unsigned irrevocable_threshold_flag(const Cli& cli) {
+    const long long v = cli.i64("irrevocable-threshold");
+    if (v < 0)
+        throw std::invalid_argument(
+            "--irrevocable-threshold must be >= 0");
+    return static_cast<unsigned>(v);
+}
+
+// Failpoint seed, uniform across drivers in chaos-enabled builds:
+// --chaos-seed= reseeds the per-thread failpoint RNG streams so a chaos
+// run is replayable (util/failpoints.hpp). Parsed in every build; it only
+// has an effect when the binary was compiled with CHRONOSTM_FAILPOINTS.
+inline Cli& flag_chaos_seed(Cli& cli, long long def = 0) {
+    return cli.flag_i64(
+        "chaos-seed", def,
+        "failpoint RNG seed for CHRONOSTM_FAILPOINTS builds (0 = default "
+        "stream; no effect in builds without failpoints)");
+}
+
 // Emit the engine counter block every stats-bearing driver appends to its
 // --json rows: the snapshot/commit fast-path counters next to
-// false_conflicts. Templated on the stats and JSON emitter types so this
-// header needs neither core include.
+// false_conflicts, plus the degradation-ladder and chaos counters
+// (irrevocable escalations/commits, stall detection, injected faults).
+// Templated on the stats and JSON emitter types so this header needs
+// neither core include.
 template <typename Json, typename Stats>
 inline Json& tx_stats_json(Json& json, const Stats& s) {
     json.kv("false_conflicts", s.false_conflicts)
@@ -103,7 +135,12 @@ inline Json& tx_stats_json(Json& json, const Stats& s) {
         .kv("extension_fast_hits", s.extension_fast_hits)
         .kv("validation_fast_hits", s.validation_fast_hits)
         .kv("ro_commits", s.ro_commits)
-        .kv("backoff_us", s.backoff_us);
+        .kv("backoff_us", s.backoff_us)
+        .kv("irrevocable_commits", s.irrevocable_commits)
+        .kv("escalations", s.escalations)
+        .kv("stall_waits", s.stall_waits)
+        .kv("stalled_aborts", s.stalled_aborts)
+        .kv("injected_faults", s.injected_faults);
     return json;
 }
 

@@ -186,6 +186,20 @@ def main():
                          "SAME run (default: 1.05 -- batched write-back "
                          "must not lose more than noise to the per-orec "
                          "publish it replaced)")
+    ap.add_argument("--failpoints-blob", default=None,
+                    help="micro_stm --json blob from a CHRONOSTM_FAILPOINTS "
+                         "build (same host, same CI run). Pairs every "
+                         "BM_Update_Commit_* row by IDENTICAL name across "
+                         "the two blobs and requires the instrumented "
+                         "build within --failpoints-gate of the plain "
+                         "micro_stm blob: unarmed failpoints must cost "
+                         "noise at most, and the OFF build compiles the "
+                         "sites out entirely (the macro expands to the "
+                         "constant false)")
+    ap.add_argument("--failpoints-gate", type=float, default=1.05,
+                    help="fail when a failpoints-build commit row exceeds "
+                         "this ratio of its plain-build twin (default: "
+                         "1.05)")
     ap.add_argument("--gate-threads", action="store_true",
                     help="also gate multi-threaded (/threads:N) rows. Off "
                          "by default: contended costs are machine-shaped "
@@ -403,6 +417,46 @@ def main():
             compared += 1
             print(f"  {name:<44} {nobatch:>10.2f} {batched:>10.2f} "
                   f"{ratio:>6.2f}x  {verdict}")
+
+        # Failpoints overhead gate: CROSS-BLOB, same host and CI run. The
+        # second blob comes from a CHRONOSTM_FAILPOINTS build with no site
+        # armed; its commit rows carry whatever the per-site checks cost.
+        # Rows pair by identical name, commit shapes only (the sites sit
+        # on the commit and read paths; the single-var commit rows are the
+        # most sensitive to a constant per-site cost).
+        if driver == "micro_stm" and args.failpoints_blob:
+            try:
+                with open(args.failpoints_blob) as f:
+                    fp_cur = load_benchmarks(json.load(f))
+            except (OSError, ValueError) as e:
+                print(f"error: cannot read {args.failpoints_blob}: {e}",
+                      file=sys.stderr)
+                return 2
+            fp_pairs = sorted(
+                n for n in cur
+                if n.startswith("BM_Update_Commit_") and n in fp_cur)
+            if not fp_pairs:
+                print("error: --failpoints-blob shares no "
+                      "BM_Update_Commit_* rows with the micro_stm blob",
+                      file=sys.stderr)
+                return 2
+            print(f"\n{driver} failpoints build vs plain build "
+                  f"(gate {args.failpoints_gate:g}x, same host):")
+            print(f"  {'benchmark':<44} {'plain ns':>10} {'fp ns':>10} "
+                  f"{'ratio':>7}")
+            for name in fp_pairs:
+                plain = cur[name]
+                fp_ns = fp_cur[name]
+                if plain <= 0:
+                    continue
+                ratio = fp_ns / plain
+                verdict = ("REGRESSION" if ratio > args.failpoints_gate
+                           else "ok")
+                if verdict != "ok":
+                    regressions += 1
+                compared += 1
+                print(f"  {name:<44} {plain:>10.2f} {fp_ns:>10.2f} "
+                      f"{ratio:>6.2f}x  {verdict}")
 
         print(f"\n{driver} (tolerance {args.tolerance:g}x):")
         print(f"  {'benchmark':<44} {'base ns':>12} {'now ns':>12} "

@@ -5,7 +5,9 @@
 // and commit. Also checks the retry bound is enforceable configuration.
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 #include <chronostm/core/lsa_stm.hpp>
 
@@ -63,10 +65,13 @@ int main() {
     CHECK(stm.collected_stats().commits() == 2);
 
     // The bounded-retry knob: a transaction that can never commit within
-    // the bound surfaces as an error instead of spinning forever.
+    // the bound surfaces as chronostm::RetryExhausted instead of spinning
+    // forever. The exception carries a TxStats snapshot plus the abort
+    // taxonomy (conflict vs freshness) of the exhausted transaction.
     {
         StmConfig cfg;
         cfg.max_retries = 3;
+        cfg.irrevocable_threshold = 0;  // ladder off: exhaustion must throw
         LsaStm stm2(tb::make("shared"), cfg);
         TVar<long> w(0);
         auto c2 = stm2.make_context();
@@ -76,11 +81,48 @@ int main() {
                 (void)w.get(tx);
                 tx.abort();  // user-directed abort on every attempt
             });
-        } catch (const std::runtime_error&) {
+        } catch (const RetryExhausted& e) {
             threw = true;
+            // tx.abort() is a conflict-class abort; no freshness misses.
+            CHECK(e.conflict_aborts == 3);
+            CHECK(e.freshness_aborts == 0);
+            CHECK(e.stats.aborts() == 3);
+            CHECK(e.stats.commits() == 0);
         }
         CHECK(threw);
         CHECK(c2.stats().aborts() == 3);
+        // RetryExhausted stays catchable as std::runtime_error for callers
+        // that predate the typed exception.
+        static_assert(
+            std::is_base_of<std::runtime_error, RetryExhausted>::value,
+            "RetryExhausted must remain a runtime_error");
+    }
+
+    // With the degradation ladder enabled below the retry bound, the same
+    // hopeless-conflict shape cannot throw: crossing the threshold
+    // escalates to irrevocable serial mode, where user aborts are the only
+    // way out -- so here we instead check a CONFLICT-abort storm commits.
+    // (The functor stops calling tx.abort() once escalated; engine-side
+    // conflicts can no longer abort the token holder.)
+    {
+        StmConfig cfg;
+        cfg.max_retries = 8;
+        cfg.irrevocable_threshold = 2;
+        LsaStm stm2(tb::make("shared"), cfg);
+        TVar<long> w(0);
+        auto c2 = stm2.make_context();
+        int tries = 0;
+        c2.run([&](Tx& tx) {
+            ++tries;
+            const long cur = w.get(tx);
+            w.set(tx, cur + 1);
+            if (!tx.irrevocable()) tx.abort();  // hopeless until escalation
+        });
+        CHECK_MSG(tries == 3, "tries %d", tries);  // 2 aborts, then escalate
+        CHECK(w.unsafe_peek() == 1);
+        CHECK(c2.stats().escalations == 1);
+        CHECK(c2.stats().irrevocable_commits == 1);
+        CHECK(c2.stats().commits() == 1);
     }
 
     std::printf("test_stm_conflict_retry: PASS\n");

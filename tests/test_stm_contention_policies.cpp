@@ -4,6 +4,7 @@
 // commit descriptor). Also checks the policy parser rejects typos at
 // construction instead of misbehaving at runtime.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -64,12 +65,106 @@ void check_policy(const char* policy) {
               static_cast<unsigned long long>(stats.commits()));
 }
 
+#ifdef CHRONOSTM_FAILPOINTS
+// Kill-based managers against a PROVABLY stalled victim: a one-shot
+// failpoint parks the victim inside commit with write locks held (status
+// kTxLocking), exactly what a preempted committer looks like. The policy
+// under test must land its cooperative kill on the parked descriptor --
+// the victim wakes, finds kTxKilled, rolls back and retries -- while the
+// attacker records the stall (stall_waits) and everything still conserves.
+void check_stalled_kill(const char* policy) {
+    StmConfig cfg;
+    cfg.contention_manager = policy;
+    LsaStm stm(tb::make("shared"), cfg);
+    constexpr int kSpare = 6;  // uncontended accounts pad attacker karma
+    std::vector<std::unique_ptr<TVar<long>>> acct;
+    for (int i = 0; i < 2 + kSpare; ++i)
+        acct.push_back(std::make_unique<TVar<long>>(kInitial));
+
+    std::atomic<bool> attacker_started{false};
+    std::atomic<bool> victim_parked{false};
+
+    // Attacker first, so the timestamp policy sees the victim as YOUNGER
+    // (kill the younger enemy); its padded footprint outweighs the
+    // victim's 4-access karma; aggressive kills unconditionally.
+    std::thread attacker([&] {
+        auto ctx = stm.make_context();
+        ctx.run([&](Tx& tx) {
+            long pad = 0;
+            for (int i = 0; i < kSpare; ++i) {
+                pad += acct[2 + i]->get(tx);
+                acct[2 + i]->set(tx, acct[2 + i]->get(tx));
+            }
+            (void)pad;
+            if (!attacker_started.exchange(true))
+                while (!victim_parked.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+            // First touch of the victim's locked account happens with a
+            // 12-access footprint and the older start stamp.
+            acct[0]->set(tx, acct[0]->get(tx) - 1);
+            acct[1]->set(tx, acct[1]->get(tx) + 1);
+        });
+    });
+    while (!attacker_started.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    // On the shared counter, time only advances when someone commits: one
+    // dummy update here separates the start stamps, so the victim (which
+    // begins next) is strictly YOUNGER than the waiting attacker and the
+    // timestamp policy has a tie-free kill decision.
+    {
+        auto ctx = stm.make_context();
+        ctx.run([&](Tx& tx) { acct[2]->set(tx, acct[2]->get(tx)); });
+    }
+
+    const std::uint64_t faults_before = fp::total_faults();
+    fp::SiteConfig stall;
+    stall.stall_us = 20000;  // ~20ms: far beyond every spin budget
+    fp::arm_one_shot(fp::k_lsa_commit_post_lock, stall, 1);
+
+    std::thread victim([&] {
+        auto ctx = stm.make_context();
+        ctx.run([&](Tx& tx) {
+            acct[0]->set(tx, acct[0]->get(tx) - 5);
+            acct[1]->set(tx, acct[1]->get(tx) + 5);
+        });
+        CHECK_MSG(ctx.stats().aborts() >= 1, "policy %s: stalled victim "
+                  "was never killed (aborts %llu)", policy,
+                  static_cast<unsigned long long>(ctx.stats().aborts()));
+    });
+
+    // The victim is provably parked once the one-shot fired: locks held,
+    // descriptor frozen in kTxLocking, thread asleep in the failpoint.
+    while (fp::total_faults() == faults_before) std::this_thread::yield();
+    victim_parked.store(true, std::memory_order_release);
+
+    victim.join();
+    attacker.join();
+    fp::reset();
+
+    long total = 0;
+    for (const auto& a : acct) total += a->unsafe_peek();
+    CHECK_MSG(total == kInitial * (2 + kSpare), "policy %s: total %ld",
+              policy, total);
+    const auto stats = stm.collected_stats();
+    CHECK(stats.commits() == 3);  // victim + attacker + the stamp bump
+    CHECK_MSG(stats.stall_waits >= 1, "policy %s: attacker never flagged "
+              "the stall", policy);
+    CHECK(stats.injected_faults >= 1);
+}
+#endif  // CHRONOSTM_FAILPOINTS
+
 }  // namespace
 
 int main() {
     for (const char* policy :
          {"suicide", "polite", "backoff", "aggressive", "karma", "timestamp"})
         check_policy(policy);
+
+#ifdef CHRONOSTM_FAILPOINTS
+    for (const char* policy : {"aggressive", "karma", "timestamp"})
+        check_stalled_kill(policy);
+#endif
 
     bool threw = false;
     try {
