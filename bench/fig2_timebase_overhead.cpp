@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
@@ -58,26 +58,23 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
     return {res.mops_per_sec, adapter.collected_stats()};
 }
 
-// The time-base overhead question is engine-agnostic (both engines draw
-// stamps at the same points: start, extension, commit), so the whole
-// figure can be re-run on the orec engine with --engine=orec. CI also
-// re-runs it once with --epoch-filter=off to keep the full-walk
-// validation path exercised.
-Point measure_engine(bool orec, bool epoch_filter, unsigned irrev_threshold,
-                     const std::string& spec, unsigned threads,
+// The time-base overhead question is engine-agnostic (the time-base
+// engines draw stamps at the same points: start, extension, commit), so
+// the whole figure can be re-run on any stm::make() spec with
+// --engine=orec (or tl2/vstm/glock as flat reference lines -- they
+// ignore the time-base axis). CI also re-runs it once with
+// --epoch-filter=off to keep the full-walk validation path exercised.
+// Each cell builds a FRESH engine from the registry so counters start
+// zeroed, mirroring the per-cell tb::make.
+Point measure_engine(const std::string& engine_spec,
+                     const std::string& tb_spec, unsigned threads,
                      unsigned accesses, double duration_ms) {
-    if (orec) {
-        OrecConfig cfg;
-        cfg.epoch_filter = epoch_filter;
-        cfg.irrevocable_threshold = irrev_threshold;
-        stm::OrecAdapter a(tb::make(spec), cfg);
-        return measure(a, threads, accesses, duration_ms);
-    }
-    StmConfig cfg;
-    cfg.epoch_filter = epoch_filter;
-    cfg.irrevocable_threshold = irrev_threshold;
-    stm::LsaAdapter a(tb::make(spec), cfg);
-    return measure(a, threads, accesses, duration_ms);
+    stm::Engine eng = stm::make(engine_spec, tb::make(tb_spec));
+    Point p;
+    stm::visit(eng, [&](auto& adapter) {
+        p = measure(adapter, threads, accesses, duration_ms);
+    });
+    return p;
 }
 
 }  // namespace
@@ -97,15 +94,23 @@ int main(int argc, char** argv) {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
         wl::validate_engine_flag(cli);
+        if (wl::engine_specs(cli).empty())
+            throw std::invalid_argument("--engine resolved to no specs");
         wl::epoch_filter_enabled(cli);
         wl::irrevocable_threshold_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
-    const bool orec = wl::engine_is_orec(cli);
     const bool epoch_filter = wl::epoch_filter_enabled(cli);
     const unsigned irrev_threshold = wl::irrevocable_threshold_flag(cli);
+    // One engine spec drives the figure; the driver-level flags append as
+    // registry keys (later key wins, so the flags override spec keys).
+    const std::string engine_spec = wl::engine_spec_with(
+        wl::engine_specs(cli).front(),
+        std::string("filter=") + (epoch_filter ? "on" : "off") +
+            ",irrev=" + std::to_string(irrev_threshold));
+    const std::string engine_name = stm::parse_engine_spec(engine_spec).name;
 #ifdef CHRONOSTM_FAILPOINTS
     if (cli.i64("chaos-seed") != 0)
         fp::set_seed(static_cast<std::uint64_t>(cli.i64("chaos-seed")));
@@ -159,9 +164,8 @@ int main(int argc, char** argv) {
                 Table::num(static_cast<std::uint64_t>(n))};
             json.obj_begin().kv("threads", n).key("series").arr_begin();
             for (std::size_t i = 0; i < tb_specs.size(); ++i) {
-                const Point p = measure_engine(orec, epoch_filter,
-                                               irrev_threshold, tb_specs[i],
-                                               n, accesses, duration);
+                const Point p = measure_engine(engine_spec, tb_specs[i], n,
+                                               accesses, duration);
                 series[i].push_back(p.mtx);
                 row.push_back(Table::num(p.mtx, 3));
                 json.obj_begin()
@@ -176,9 +180,8 @@ int main(int argc, char** argv) {
             t.add_row(row);
         }
         json.arr_end().obj_end();
-        t.add_note(std::string("series = ") +
-                   (orec ? "Orec-LSA" : "LSA-RT") +
-                   " over each time base via the runtime facade; workload "
+        t.add_note("series = engine '" + engine_name +
+                   "' over each time base via the runtime facade; workload "
                    "identical");
         t.add_note("batched/sharded trade freshness aborts (recently "
                    "committed data is unreadable for ~2*deviation stamps) "

@@ -31,7 +31,7 @@
 
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/core/orec_stm.hpp>
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/gbench_main.hpp>
 
 namespace {
@@ -49,9 +49,10 @@ struct Rig {
     }
 };
 
-void bm_readonly_txn(benchmark::State& state, const std::string& spec) {
+void bm_readonly_txn(benchmark::State& state, const std::string& spec,
+                     StmConfig cfg = StmConfig{}) {
     const auto reads = static_cast<std::size_t>(state.range(0));
-    Rig rig(spec, reads);
+    Rig rig(spec, reads, std::move(cfg));
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
         long sum = ctx.run([&](Transaction& tx) {
@@ -64,9 +65,10 @@ void bm_readonly_txn(benchmark::State& state, const std::string& spec) {
     state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
 }
 
-void bm_update_txn(benchmark::State& state, const std::string& spec) {
+void bm_update_txn(benchmark::State& state, const std::string& spec,
+                   StmConfig cfg = StmConfig{}) {
     const auto writes = static_cast<std::size_t>(state.range(0));
-    Rig rig(spec, writes);
+    Rig rig(spec, writes, std::move(cfg));
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
         ctx.run([&](Transaction& tx) {
@@ -104,9 +106,10 @@ struct OrecRig {
     }
 };
 
-void bm_orec_readonly_txn(benchmark::State& state, const std::string& spec) {
+void bm_orec_readonly_txn(benchmark::State& state, const std::string& spec,
+                          OrecConfig cfg = OrecConfig{}) {
     const auto reads = static_cast<std::size_t>(state.range(0));
-    OrecRig rig(spec, reads);
+    OrecRig rig(spec, reads, cfg);
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
         long sum = ctx.run([&](OrecTransaction& tx) {
@@ -119,9 +122,10 @@ void bm_orec_readonly_txn(benchmark::State& state, const std::string& spec) {
     state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
 }
 
-void bm_orec_update_txn(benchmark::State& state, const std::string& spec) {
+void bm_orec_update_txn(benchmark::State& state, const std::string& spec,
+                        OrecConfig cfg = OrecConfig{}) {
     const auto writes = static_cast<std::size_t>(state.range(0));
-    OrecRig rig(spec, writes);
+    OrecRig rig(spec, writes, cfg);
     auto ctx = rig.stm.make_context();
     for (auto _ : state) {
         ctx.run([&](OrecTransaction& tx) {
@@ -404,29 +408,60 @@ BENCHMARK(BM_Orec_Update_NoBatch)->Arg(100);
 
 int main(int argc, char** argv) {
     // Uniform --timebase flag: each extra spec registers the full row set
-    // under a spec-tagged name, so sweeps never shadow the gated rows;
-    // --engine=orec points the dynamic rows at the orec engine. Specs are
-    // resolved once up front so a typo exits 2 with the registry's
-    // message instead of aborting mid-benchmark.
+    // under a spec-tagged name, so sweeps never shadow the gated rows.
+    // --engine takes a full stm::make() registry spec and points the
+    // dynamic rows at that engine; its keys flow into the rows' config
+    // ("orec:bits=14,filter=off"). The dynamic rows sweep time bases, so
+    // only the time-base engines (lsa, orec) are accepted -- but the spec
+    // is still resolved through the registry first, so an unknown name or
+    // key exits 2 with the registry's one-line message, same as a
+    // --timebase typo.
     try {
         const std::string engine = chronostm::extract_engine_flag(argc, argv);
-        if (engine != "lsa" && engine != "orec")
-            throw std::invalid_argument("unknown --engine '" + engine +
-                                        "' (expected: lsa, orec)");
-        const bool orec = engine == "orec";
+        const chronostm::stm::Engine eng = chronostm::stm::make(engine);
+        chronostm::StmConfig lsa_cfg;
+        chronostm::OrecConfig orec_cfg;
+        bool orec = false;
+        if (auto* a =
+                chronostm::stm::get_if<chronostm::stm::OrecAdapter>(eng)) {
+            orec = true;
+            orec_cfg = a->stm().config();
+        } else if (auto* a =
+                       chronostm::stm::get_if<chronostm::stm::LsaAdapter>(
+                           eng)) {
+            lsa_cfg = a->stm().config();
+        } else {
+            throw std::invalid_argument(
+                "--engine '" + engine +
+                "': the dynamic _TB rows sweep time bases, which only the "
+                "lsa and orec engines consume");
+        }
         for (const auto& spec : chronostm::tb::split_specs(
                  chronostm::extract_timebase_flag(argc, argv))) {
             chronostm::tb::make(spec);
-            benchmark::RegisterBenchmark(
-                ("BM_ReadOnly_TB/" + spec).c_str(),
-                orec ? bm_orec_readonly_txn : bm_readonly_txn, spec)
-                ->Arg(10)
-                ->Arg(100);
-            benchmark::RegisterBenchmark(
-                ("BM_Update_TB/" + spec).c_str(),
-                orec ? bm_orec_update_txn : bm_update_txn, spec)
-                ->Arg(10)
-                ->Arg(100);
+            if (orec) {
+                benchmark::RegisterBenchmark(
+                    ("BM_ReadOnly_TB/" + spec).c_str(), bm_orec_readonly_txn,
+                    spec, orec_cfg)
+                    ->Arg(10)
+                    ->Arg(100);
+                benchmark::RegisterBenchmark(
+                    ("BM_Update_TB/" + spec).c_str(), bm_orec_update_txn,
+                    spec, orec_cfg)
+                    ->Arg(10)
+                    ->Arg(100);
+            } else {
+                benchmark::RegisterBenchmark(
+                    ("BM_ReadOnly_TB/" + spec).c_str(), bm_readonly_txn,
+                    spec, lsa_cfg)
+                    ->Arg(10)
+                    ->Arg(100);
+                benchmark::RegisterBenchmark(
+                    ("BM_Update_TB/" + spec).c_str(), bm_update_txn, spec,
+                    lsa_cfg)
+                    ->Arg(10)
+                    ->Arg(100);
+            }
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -4,13 +4,15 @@
 // policy. There is no single winner in the literature -- the check is that
 // every policy makes progress and the knob actually changes behaviour.
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
@@ -54,8 +56,6 @@ int main(int argc, char** argv) {
                 "%u threads, %u accounts, zipf %.2f, time base %s\n\n",
                 threads, accounts, zipf, tb_spec.c_str());
 
-    using A = stm::LsaAdapter;
-
     Table t("policy comparison");
     t.set_header({"policy", "Mtx/s", "abort ratio", "conserved"});
     bool all_progress = true, all_conserved = true;
@@ -70,81 +70,66 @@ int main(int argc, char** argv) {
         .key("rows")
         .arr_begin();
 
+    // One row = one registry engine spec run through the facade, so the
+    // LSA policy rows and the --engine reference rows share the same
+    // measurement path.
+    const auto run_row = [&](const std::string& label,
+                             const std::string& engine_spec) {
+        stm::Engine eng = stm::make(engine_spec, tb::make(tb_spec));
+        double mtx = 0;
+        std::uint64_t total_ops = 0;
+        bool conserved = true;
+        stm::visit(eng, [&](auto& adapter) {
+            using A = std::decay_t<decltype(adapter)>;
+            wl::Bank<A> bank(accounts, 1000, zipf);
+            wl::RunSpec spec;
+            spec.threads = threads;
+            spec.warmup_ms = duration / 5;
+            spec.duration_ms = duration;
+            const auto res = wl::run_throughput(spec, [&](unsigned tid) {
+                auto ctx = std::make_shared<typename A::Context>(
+                    adapter.make_context());
+                auto rng = std::make_shared<Rng>(tid * 101 + 9);
+                return [&, ctx, rng] { bank.transfer(adapter, *ctx, *rng); };
+            });
+            mtx = res.mops_per_sec;
+            total_ops = res.total_ops;
+            conserved = bank.unsafe_total() == bank.expected_total();
+        });
+
+        const auto stats = eng.collected_stats();
+        const double ratio =
+            stats.commits() + stats.aborts() == 0
+                ? 0
+                : static_cast<double>(stats.aborts()) /
+                      static_cast<double>(stats.commits() + stats.aborts());
+        t.add_row({label, Table::num(mtx, 3), Table::num(ratio, 4),
+                   conserved ? "yes" : "NO"});
+        json.obj_begin()
+            .kv("policy", label)
+            .kv("engine_spec", engine_spec)
+            .kv("mtxs", mtx)
+            .kv("abort_ratio", ratio)
+            .kv("conserved", conserved);
+        wl::tx_stats_json(json, stats).obj_end();
+        all_progress = all_progress && total_ops > 0;
+        all_conserved = all_conserved && conserved;
+    };
+
+    const std::string irrev_key = "irrev=" + std::to_string(irrev_threshold);
     for (const char* policy :
-         {"suicide", "aggressive", "polite", "karma", "timestamp"}) {
-        StmConfig cfg;
-        cfg.contention_manager = policy;
-        cfg.irrevocable_threshold = irrev_threshold;
-        A adapter(tb::make(tb_spec), cfg);
-        wl::Bank<A> bank(accounts, 1000, zipf);
+         {"suicide", "aggressive", "polite", "karma", "timestamp"})
+        run_row(policy, wl::engine_spec_with(std::string("lsa:cm=") + policy,
+                                             irrev_key));
 
-        wl::RunSpec spec;
-        spec.threads = threads;
-        spec.warmup_ms = duration / 5;
-        spec.duration_ms = duration;
-        const auto res = wl::run_throughput(spec, [&](unsigned tid) {
-            auto ctx = std::make_shared<typename A::Context>(adapter.make_context());
-            auto rng = std::make_shared<Rng>(tid * 101 + 9);
-            return [&, ctx, rng] { bank.transfer(adapter, *ctx, *rng); };
-        });
-
-        const auto stats = adapter.stm().collected_stats();
-        const double ratio =
-            stats.commits() + stats.aborts() == 0
-                ? 0
-                : static_cast<double>(stats.aborts()) /
-                      static_cast<double>(stats.commits() + stats.aborts());
-        const bool conserved = bank.unsafe_total() == bank.expected_total();
-        t.add_row({policy, Table::num(res.mops_per_sec, 3),
-                   Table::num(ratio, 4), conserved ? "yes" : "NO"});
-        json.obj_begin()
-            .kv("policy", policy)
-            .kv("mtxs", res.mops_per_sec)
-            .kv("abort_ratio", ratio)
-            .kv("conserved", conserved);
-        wl::tx_stats_json(json, stats).obj_end();
-        all_progress = all_progress && res.total_ops > 0;
-        all_conserved = all_conserved && conserved;
-    }
-
-    // The orec engine delegates nothing: conflicts abort and back off
-    // (there is no owner descriptor to arbitrate over). --engine=orec adds
-    // it as a reference row against the LSA policies, same workload.
-    if (wl::engine_is_orec(cli)) {
-        using O = stm::OrecAdapter;
-        OrecConfig ocfg;
-        ocfg.irrevocable_threshold = irrev_threshold;
-        O adapter(tb::make(tb_spec), ocfg);
-        wl::Bank<O> bank(accounts, 1000, zipf);
-
-        wl::RunSpec spec;
-        spec.threads = threads;
-        spec.warmup_ms = duration / 5;
-        spec.duration_ms = duration;
-        const auto res = wl::run_throughput(spec, [&](unsigned tid) {
-            auto ctx =
-                std::make_shared<typename O::Context>(adapter.make_context());
-            auto rng = std::make_shared<Rng>(tid * 101 + 9);
-            return [&, ctx, rng] { bank.transfer(adapter, *ctx, *rng); };
-        });
-
-        const auto stats = adapter.collected_stats();
-        const double ratio =
-            stats.commits() + stats.aborts() == 0
-                ? 0
-                : static_cast<double>(stats.aborts()) /
-                      static_cast<double>(stats.commits() + stats.aborts());
-        const bool conserved = bank.unsafe_total() == bank.expected_total();
-        t.add_row({"orec-backoff", Table::num(res.mops_per_sec, 3),
-                   Table::num(ratio, 4), conserved ? "yes" : "NO"});
-        json.obj_begin()
-            .kv("policy", "orec-backoff")
-            .kv("mtxs", res.mops_per_sec)
-            .kv("abort_ratio", ratio)
-            .kv("conserved", conserved);
-        wl::tx_stats_json(json, stats).obj_end();
-        all_progress = all_progress && res.total_ops > 0;
-        all_conserved = all_conserved && conserved;
+    // Non-LSA engines delegate nothing to a contention manager: conflicts
+    // abort and back off. Each non-default --engine spec adds a reference
+    // row against the LSA policies, same workload (comma-separated lists
+    // add one row per spec; the default "lsa" is the policy sweep above).
+    for (const auto& espec : wl::engine_specs(cli)) {
+        if (stm::parse_engine_spec(espec).name == "lsa") continue;
+        run_row(stm::parse_engine_spec(espec).name + "-backoff",
+                wl::engine_spec_with(espec, irrev_key));
     }
     t.print(std::cout);
 

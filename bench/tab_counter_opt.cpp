@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
@@ -62,11 +62,13 @@ int main(int argc, char** argv) {
         if (!cli.parse(argc, argv)) return 0;
         wl::validate_timebase_flag(cli);
         wl::validate_engine_flag(cli);
+        if (wl::engine_specs(cli).empty())
+            throw std::invalid_argument("--engine resolved to no specs");
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
-    const bool orec = wl::engine_is_orec(cli);
+    const std::string engine_spec = wl::engine_specs(cli).front();
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const auto accesses = static_cast<unsigned>(cli.i64("accesses"));
     const auto tb_specs = tb::split_specs(cli.str("timebase"));
@@ -96,14 +98,13 @@ int main(int argc, char** argv) {
         std::vector<std::string> row{Table::num(static_cast<std::uint64_t>(n))};
         json.obj_begin().kv("threads", n).key("series").arr_begin();
         for (std::size_t i = 0; i < tb_specs.size(); ++i) {
+            // Fresh engine per cell (zeroed counters), engine chosen by
+            // the registry spec and dispatched through the facade.
             Point p;
-            if (orec) {
-                stm::OrecAdapter a(tb::make(tb_specs[i]));
+            stm::Engine eng = stm::make(engine_spec, tb::make(tb_specs[i]));
+            stm::visit(eng, [&](auto& a) {
                 p = measure(a, n, accesses, duration);
-            } else {
-                stm::LsaAdapter a(tb::make(tb_specs[i]));
-                p = measure(a, n, accesses, duration);
-            }
+            });
             series[i].push_back(p.mtx);
             row.push_back(Table::num(p.mtx, 3));
             json.obj_begin()

@@ -22,7 +22,7 @@
 #include <memory>
 #include <vector>
 
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/table.hpp>
@@ -152,71 +152,56 @@ int main(int argc, char** argv) {
         s.injected_faults = x.injected_faults + y.injected_faults;
         return s;
     };
-    const auto emit = [&](const char* name, double hs, double au,
-                          const TxStats& stats = TxStats{}) {
-        t.add_row({name, Table::num(hs, 3), Table::num(au, 1)});
+    // One row = one registry engine spec; the two measurement cells each
+    // build a FRESH engine from the spec (zeroed counters) and dispatch
+    // through the facade, so every system -- LSA, orec, and the three
+    // baselines -- runs the identical measurement path and emits the same
+    // counter block.
+    const auto run_row = [&](const std::string& label,
+                             const std::string& espec,
+                             const std::string& tbspec) {
+        const auto mk = [&] {
+            return tbspec.empty() ? stm::make(espec)
+                                  : stm::make(espec, tb::make(tbspec));
+        };
+        stm::Engine e1 = mk();
+        stm::Engine e2 = mk();
+        double hs = 0, au = 0;
+        stm::visit(e1, [&](auto& a) {
+            hs = bench_hashset(a, threads, duration);
+        });
+        stm::visit(e2, [&](auto& a) {
+            au = bench_audit(a, threads, duration, conserved);
+        });
+        t.add_row({label, Table::num(hs, 3), Table::num(au, 1)});
         json.obj_begin()
-            .kv("system", name)
+            .kv("system", label)
+            .kv("engine_spec", espec)
             .kv("hashset_mtxs", hs)
             .kv("audits_ks", au);
-        wl::tx_stats_json(json, stats).obj_end();
+        wl::tx_stats_json(
+            json, sum_stats(e1.collected_stats(), e2.collected_stats()))
+            .obj_end();
+        return au;
     };
 
     // One LSA-RT row per --timebase spec; the first spec anchors the
     // "time-based beats always-validate" shape check.
     bool first_spec = true;
     for (const auto& spec : tb_specs) {
-        stm::LsaAdapter a(tb::make(spec));
-        const double hs = bench_hashset(a, threads, duration);
-        stm::LsaAdapter a2(tb::make(spec));
-        const double au = bench_audit(a2, threads, duration, conserved);
+        const double au = run_row("LSA-RT/" + spec, "lsa", spec);
         if (first_spec) lsa_audit = au;
         first_spec = false;
-        emit(("LSA-RT/" + spec).c_str(), hs, au,
-             sum_stats(a.collected_stats(), a2.collected_stats()));
     }
     // One Orec-LSA row per spec: same workloads, same time bases, the
     // per-TVar metadata replaced by the shared orec table.
-    for (const auto& spec : tb_specs) {
-        stm::OrecAdapter a(tb::make(spec));
-        const double hs = bench_hashset(a, threads, duration);
-        stm::OrecAdapter a2(tb::make(spec));
-        const double au = bench_audit(a2, threads, duration, conserved);
-        emit(("Orec-LSA/" + spec).c_str(), hs, au,
-             sum_stats(a.collected_stats(), a2.collected_stats()));
-    }
-    {
-        stm::Tl2Adapter a;
-        const double hs = bench_hashset(a, threads, duration);
-        stm::Tl2Adapter a2;
-        const double au = bench_audit(a2, threads, duration, conserved);
-        emit("TL2", hs, au);
-    }
-    {
-        stm::VstmAdapter a;  // commit-counter heuristic on
-        const double hs = bench_hashset(a, threads, duration);
-        stm::VstmAdapter a2;
-        const double au = bench_audit(a2, threads, duration, conserved);
-        vstm_cc_audit = au;
-        emit("VSTM/cc-heuristic", hs, au);
-    }
-    {
-        stm::VstmConfig cfg;
-        cfg.commit_counter_heuristic = false;
-        stm::VstmAdapter a(cfg);
-        const double hs = bench_hashset(a, threads, duration);
-        stm::VstmAdapter a2(cfg);
-        const double au = bench_audit(a2, threads, duration, conserved);
-        vstm_always_audit = au;
-        emit("VSTM/always-validate", hs, au);
-    }
-    {
-        stm::GlobalLockAdapter a;
-        const double hs = bench_hashset(a, threads, duration);
-        stm::GlobalLockAdapter a2;
-        const double au = bench_audit(a2, threads, duration, conserved);
-        emit("GlobalLock", hs, au);
-    }
+    for (const auto& spec : tb_specs)
+        run_row("Orec-LSA/" + spec, "orec", spec);
+    run_row("TL2", "tl2", "");
+    vstm_cc_audit = run_row("VSTM/cc-heuristic", "vstm", "");
+    vstm_always_audit =
+        run_row("VSTM/always-validate", "vstm:heuristic=off", "");
+    run_row("GlobalLock", "glock", "");
     t.add_note("audit txns read 128 accounts: validation-based STMs pay "
                "O(reads^2) total validation work per audit");
     t.print(std::cout);

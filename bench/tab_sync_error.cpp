@@ -18,7 +18,7 @@
 #include <thread>
 #include <vector>
 
-#include <chronostm/stm/adapter.hpp>
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/util/cli.hpp>
 #include <chronostm/util/json_out.hpp>
 #include <chronostm/util/rng.hpp>
@@ -80,25 +80,29 @@ Result run_core(A& adapter, unsigned threads, double duration_ms) {
 // The per-point base is built from the uniform --timebase spec with the
 // sweep's device count and deviation bound appended -- later keys override
 // earlier ones in the registry grammar, so a custom base spec still works.
-// --engine=orec swaps the engine; the orec engine is single-version, so
-// its sweep runs one panel (validity shrinking hits it exactly like
-// single-version LSA: the one live version loses range at both ends).
-Result run_one(const std::string& tb_spec, std::uint32_t dev_ns,
-               unsigned max_versions, bool orec, unsigned threads,
+// --engine takes any stm::make() spec; only the LSA engine has a version
+// history, so every other engine runs one single-version panel (validity
+// shrinking hits it exactly like single-version LSA: the one live version
+// loses range at both ends; the non-time-base baselines ignore the sweep
+// entirely and serve as flat reference lines).
+Result run_one(const std::string& engine_spec, const std::string& tb_spec,
+               std::uint32_t dev_ns, unsigned max_versions, unsigned threads,
                double duration_ms) {
     const char* sep = tb_spec.find(':') == std::string::npos ? ":" : ",";
     auto tbase = tb::make(tb_spec + sep + "devices=" +
                           std::to_string(threads) + ",dev=" +
                           std::to_string(dev_ns));
 
-    if (orec) {
-        stm::OrecAdapter adapter(std::move(tbase));
-        return run_core(adapter, threads, duration_ms);
-    }
-    StmConfig cfg;
-    cfg.max_versions = max_versions;
-    stm::LsaAdapter adapter(std::move(tbase), cfg);
-    return run_core(adapter, threads, duration_ms);
+    std::string spec = engine_spec;
+    if (stm::parse_engine_spec(spec).name == "lsa")
+        spec = wl::engine_spec_with(
+            spec, "versions=" + std::to_string(max_versions));
+    stm::Engine eng = stm::make(spec, std::move(tbase));
+    Result r;
+    stm::visit(eng, [&](auto& adapter) {
+        r = run_core(adapter, threads, duration_ms);
+    });
+    return r;
 }
 
 }  // namespace
@@ -120,11 +124,15 @@ int main(int argc, char** argv) {
             tb::make(t + sep + "devices=2,dev=1");  // typo -> clean exit 2
         }
         wl::validate_engine_flag(cli);
+        if (wl::engine_specs(cli).empty())
+            throw std::invalid_argument("--engine resolved to no specs");
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
-    const bool orec = wl::engine_is_orec(cli);
+    const std::string engine_spec = wl::engine_specs(cli).front();
+    const std::string engine_name = stm::parse_engine_spec(engine_spec).name;
+    const bool multi_version = engine_name == "lsa";
     const auto threads = static_cast<unsigned>(cli.i64("threads"));
     const double duration = static_cast<double>(cli.i64("duration-ms"));
     const std::string& tb_spec = cli.str("timebase");
@@ -146,17 +154,21 @@ int main(int argc, char** argv) {
         .kv("duration_ms", duration)
         .key("panels")
         .arr_begin();
-    // The orec engine has no version history: one single-version panel.
-    const std::vector<unsigned> panels =
-        orec ? std::vector<unsigned>{1u} : std::vector<unsigned>{8u, 1u};
+    // Only LSA has a version history: one single-version panel otherwise.
+    const std::vector<unsigned> panels = multi_version
+                                             ? std::vector<unsigned>{8u, 1u}
+                                             : std::vector<unsigned>{1u};
     for (const unsigned k : panels) {
-        Table t(orec ? "orec engine (single-version by construction)"
-                     : (k == 1 ? "single-version (max_versions=1)"
-                               : "multi-version (max_versions=8)"));
+        Table t(!multi_version
+                    ? "engine '" + engine_name +
+                          "' (single-version by construction)"
+                    : (k == 1 ? "single-version (max_versions=1)"
+                              : "multi-version (max_versions=8)"));
         t.set_header({"dev (ns)", "Mtx/s", "abort ratio", "conserved"});
         json.obj_begin().kv("max_versions", k).key("rows").arr_begin();
         for (const auto dev : devs) {
-            const Result r = run_one(tb_spec, dev, k, orec, threads, duration);
+            const Result r =
+                run_one(engine_spec, tb_spec, dev, k, threads, duration);
             t.add_row({Table::num(static_cast<std::uint64_t>(dev)),
                        Table::num(r.mtx, 3), Table::num(r.abort_ratio, 4),
                        r.conserved ? "yes" : "NO"});
@@ -179,7 +191,7 @@ int main(int argc, char** argv) {
 
     std::printf("SHAPE-CHECK correctness unaffected by any deviation: %s\n",
                 all_conserved ? "PASS" : "FAIL");
-    if (!orec)
+    if (multi_version)
         std::printf("SHAPE-CHECK large deviation raises multi-version abort "
                     "rate (%.4f -> %.4f): %s\n",
                     mv_small, mv_big, mv_big >= mv_small ? "PASS" : "FAIL");

@@ -78,6 +78,7 @@
 #include <type_traits>
 #include <vector>
 
+#include <chronostm/stm/config.hpp>
 #include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/failpoints.hpp>
 #include <chronostm/util/pause.hpp>
@@ -105,13 +106,14 @@ inline CmPolicy parse_contention_manager(const std::string& name) {
                                 name);
 }
 
-struct StmConfig {
+// The shared knobs (read_extension, lock_spin, epoch_filter, max_retries,
+// irrevocable_threshold, stall budgets) live in stm::CommonConfig; the old
+// spellings -- cfg.epoch_filter etc. -- are the inherited members.
+struct StmConfig : stm::CommonConfig {
     // Versions kept per TVar including the current one; 1 = no history
     // (TL2-like), larger values let long readers survive concurrent
     // updates. Capped at detail::kMaxHistory + 1.
     unsigned max_versions = 8;
-    // Lazy snapshot extension on reads that find a too-new current version.
-    bool read_extension = true;
     // Commit helping (LSA-RT): threads that meet a lock owned by a
     // transaction whose descriptor already reached Committed finish its
     // write-back instead of waiting it out. Off = plain bounded spinning
@@ -119,23 +121,6 @@ struct StmConfig {
     bool help_committers = true;
     // Conflict arbitration policy; see CmPolicy. Parsed once per LsaStm.
     std::string contention_manager = "polite";
-    // Spins on a foreign lock before the contention manager gives up.
-    unsigned lock_spin = 256;
-    // Commit-epoch validation filter: writers bump one engine-global epoch
-    // word while holding their write locks; readers whose epoch snapshot is
-    // unchanged skip the O(R) read-set walk in try_extend() and at commit.
-    // Off forces the full walk every time (bench twin / debugging).
-    bool epoch_filter = true;
-    // Bounded retry: run() throws after this many consecutive aborts.
-    unsigned max_retries = 1'000'000;
-    // Graceful-degradation ladder, final rung: after this many consecutive
-    // aborts of one transaction, run() escalates it to irrevocable serial
-    // mode -- it claims the engine-global irrevocability token, drains
-    // in-flight update commits, and reruns against a quiescent commit
-    // pipeline where nothing can abort it, bounding worst-case latency.
-    // 0 disables escalation entirely (retry exhaustion then throws
-    // RetryExhausted). Must be well below max_retries to be useful.
-    unsigned irrevocable_threshold = 64;
     // Test-only: invoked on the committing thread right after its
     // descriptor is published as Committed (claims armed) and before it
     // applies its own write set -- lets tests freeze a committer at the
@@ -870,7 +855,12 @@ inline bool help_apply(TxDesc* d, StatsBlock* stats) {
 class Transaction;
 class ThreadContext;
 class LsaStm;
-template <typename T>
+// InlineHist picks where the multi-version history ring lives (see
+// detail::HistoryHolder): the default embeds the full-depth ring in the
+// var for word-sized T. The engine facade's slot cells override it to
+// false -- a 24-byte var with a lazily heap-allocated ring -- so node-based
+// structures can afford one var per field.
+template <typename T, bool InlineHist = (sizeof(T) <= 8 && alignof(T) <= 8)>
 class TVar;
 
 namespace detail {
@@ -958,7 +948,7 @@ struct HistoryHolder<T, false> {
 
 using TVarBase = detail::TVarBase;
 
-template <typename T>
+template <typename T, bool InlineHist>
 class TVar : public TVarBase {
     static_assert(std::is_trivially_copyable_v<T>,
                   "TVar<T> requires a trivially copyable T: values are read "
@@ -1018,7 +1008,7 @@ class TVar : public TVarBase {
     }
 
     std::atomic<T> value_;
-    detail::HistoryHolder<T> hist_;
+    detail::HistoryHolder<T, InlineHist> hist_;
 };
 
 class Transaction {
@@ -1070,17 +1060,17 @@ class Transaction {
 
  private:
     friend class ThreadContext;
-    template <typename T2>
+    template <typename T2, bool H2>
     friend class chronostm::TVar;
 
-    template <typename T>
+    template <typename T, bool H>
     struct WriteRec : detail::CommitRec {
         T value;
         static void do_apply(detail::CommitRec* rec,
                              std::uint64_t new_ts, std::uint64_t old_ts,
                              unsigned keep_old, bool publish) {
             auto* self = static_cast<WriteRec*>(rec);
-            static_cast<TVar<T>*>(self->var)->commit_write(
+            static_cast<TVar<T, H>*>(self->var)->commit_write(
                 self->value, new_ts, old_ts, keep_old, publish);
         }
     };
@@ -1102,6 +1092,15 @@ class Transaction {
             validated_at_epoch_ = epoch_->load(std::memory_order_acquire);
         upper_ = clk_.get_time();
         start_ts_ = upper_;
+        // The snapshot's lower bound starts at the begin observation, not
+        // at 0: read_old_version() must never serialize this transaction
+        // before a version that provably ended before it began. Without
+        // this floor, a deviating time base (batched/sharded stamps) lets
+        // a fresh reader fall back to a history entry that died before
+        // begin -- a stale read where the time-base contract promises a
+        // freshness abort. Exact counters are unaffected (the newest
+        // version is always admissible there before any fallback runs).
+        lower_ = upper_;
         upper_cap_ = ~std::uint64_t{0};
     }
 
@@ -1201,10 +1200,10 @@ class Transaction {
         }
     }
 
-    template <typename T>
-    T read(TVar<T>& var) {
+    template <typename T, bool H>
+    T read(TVar<T, H>& var) {
         if (auto* rec = find_write(&var))
-            return static_cast<WriteRec<T>*>(rec)->value;
+            return static_cast<WriteRec<T, H>*>(rec)->value;
 
         // Chaos harness: an armed lsa_read site may delay here or demand an
         // injected abort; the token holder never honors the abort half.
@@ -1286,21 +1285,21 @@ class Transaction {
         }
     }
 
-    template <typename T>
-    void write(TVar<T>& var, T v) {
+    template <typename T, bool H>
+    void write(TVar<T, H>& var, T v) {
         if (auto* rec = find_write(&var)) {
             // Write-after-write: overwrite in place, the set stays minimal.
-            static_cast<WriteRec<T>*>(rec)->value = std::move(v);
+            static_cast<WriteRec<T, H>*>(rec)->value = std::move(v);
             return;
         }
-        static_assert(std::is_trivially_destructible_v<WriteRec<T>>,
+        static_assert(std::is_trivially_destructible_v<WriteRec<T, H>>,
                       "write records must be trivially destructible: the "
                       "arena reclaims them without running destructors");
-        void* mem = sets_->arena.allocate(sizeof(WriteRec<T>),
-                                          alignof(WriteRec<T>));
-        auto* rec = new (mem) WriteRec<T>;
+        void* mem = sets_->arena.allocate(sizeof(WriteRec<T, H>),
+                                          alignof(WriteRec<T, H>));
+        auto* rec = new (mem) WriteRec<T, H>;
         rec->var = &var;
-        rec->apply_fn = &WriteRec<T>::do_apply;
+        rec->apply_fn = &WriteRec<T, H>::do_apply;
         rec->value = std::move(v);
         auto& ws = sets_->writes;
         ws.push_back(rec);
@@ -1379,8 +1378,8 @@ class Transaction {
 
     // Search the version history of `var` for a version covering the
     // snapshot; `w1` is the unlocked lock word the caller just observed.
-    template <typename T>
-    bool read_old_version(TVar<T>& var, std::uint64_t w1, T& out) {
+    template <typename T, bool H>
+    bool read_old_version(TVar<T, H>& var, std::uint64_t w1, T& out) {
         const auto* h = var.hist_.hist_for_read();
         if (h == nullptr) return false;  // never kept history
         const unsigned n = h->size.load(std::memory_order_acquire);
@@ -1767,12 +1766,12 @@ class Transaction {
     bool extend_conflict_ = false;
 };
 
-template <typename T>
-inline T TVar<T>::get(Transaction& tx) {
+template <typename T, bool InlineHist>
+inline T TVar<T, InlineHist>::get(Transaction& tx) {
     return tx.read(*this);
 }
-template <typename T>
-inline void TVar<T>::set(Transaction& tx, T v) {
+template <typename T, bool InlineHist>
+inline void TVar<T, InlineHist>::set(Transaction& tx, T v) {
     tx.write(*this, std::move(v));
 }
 

@@ -66,46 +66,26 @@
 #include <vector>
 
 #include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/stm/config.hpp>
 #include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/pause.hpp>
 
 namespace chronostm {
 
-struct OrecConfig {
+// The shared knobs (read_extension, lock_spin, stall budgets, max_retries,
+// irrevocable_threshold, epoch_filter) live in stm::CommonConfig; the old
+// spellings -- cfg.stall_ts_budget etc. -- are the inherited members. The
+// stalled-committer tolerance knobs are used here as described in
+// stm/config.hpp: once lock_spin polite spins are burnt the waiter anchors
+// the time base and keeps spinning until either the attempt budget
+// (stall_spin_factor * lock_spin total spins) runs out or the time base
+// advances past the anchor by stall_ts_budget stamps while the orec stays
+// locked; both trip wires abort through the contention seam.
+struct OrecConfig : stm::CommonConfig {
     // log2 of the orec-table size; 2^16 entries * 8 bytes = 512 KiB.
     // Smaller tables raise the false-conflict rate (see DESIGN.md for the
     // math); the dedicated orec test shrinks this to force collisions.
     unsigned table_bits = 16;
-    // Lazy snapshot extension on reads that find a too-new version.
-    bool read_extension = true;
-    // Spins on a foreign orec lock before stall detection starts (no
-    // contention managers here: locked words carry no owner identity to
-    // arbitrate, so the only lever is how long to wait before giving up).
-    unsigned lock_spin = 256;
-    // Stalled-committer tolerance: once lock_spin polite spins are burnt
-    // the waiter anchors the time base and keeps spinning until EITHER
-    // the attempt budget (stall_spin_factor * lock_spin total spins) runs
-    // out OR the time base advances past the anchor by stall_ts_budget
-    // stamps while the orec stays locked -- other transactions committing
-    // around a lock that never moves is the provable-preemption signal.
-    // Both trip wires abort through the contention seam (stalled_aborts),
-    // handing the decision to run()'s backoff -> escalation ladder
-    // instead of spinning unboundedly behind a preempted committer.
-    unsigned stall_spin_factor = 64;
-    std::uint64_t stall_ts_budget = 64;
-    // Bounded retry: run() throws after this many consecutive aborts.
-    unsigned max_retries = 1'000'000;
-    // Graceful-degradation ladder, final rung: consecutive-abort count at
-    // which run() escalates the transaction to irrevocable serial mode
-    // (engine-global token, quiescent commit pipeline, guaranteed
-    // commit). 0 disables escalation (retry exhaustion then throws
-    // RetryExhausted). Must be well below max_retries to be useful.
-    unsigned irrevocable_threshold = 64;
-    // Commit-epoch validation filter: writers bump one engine-global epoch
-    // word while holding their orec locks; readers whose epoch snapshot is
-    // unchanged skip the O(R) read-set walk in try_extend() and at commit.
-    // Off forces the full walk every time (bench twin / debugging).
-    bool epoch_filter = true;
     // Commit-time write-back batching: one release fence for the whole
     // write set and relaxed per-orec publishes, instead of release stores
     // per orec. Off reproduces the pre-batching publish sequence (kept

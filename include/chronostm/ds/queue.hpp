@@ -1,0 +1,150 @@
+// Transactional FIFO queue: singly-linked list with a dummy head sentinel
+// (the Michael-Scott shape, minus the lock-free subtlety -- the engine's
+// transactions make enqueue/dequeue atomic). The queue object owns two
+// container-level slots, head and tail; a node is
+//
+//   [ u64 value | slot next ]
+//
+// value is a plain immutable word (initialized privately, published by
+// the committing enqueue). Dequeue advances head to the first real node
+// -- which becomes the new sentinel; its value was just consumed -- and
+// tx_frees the old sentinel through the epoch layer, so a doomed reader
+// still parked on the old head keeps dereferencing live memory.
+//
+// Thread handles (make_handle) must not outlive the container.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include <chronostm/ds/policy.hpp>
+
+namespace chronostm {
+namespace ds {
+
+template <typename Policy>
+class TxQueue {
+ public:
+    using Handle = TxHandle<Policy>;
+
+    explicit TxQueue(Policy pol)
+        : pol_(std::move(pol)),
+          stride_(pol_.slot_size()),
+          reap_{pol_.slot_dtor(), stride_} {
+        // head/tail control slots live in one private block.
+        anchors_ = ::operator new(2 * stride_);
+        void* sentinel = raw_node(0);
+        pol_.slot_init(head_slot(), as_word(sentinel));
+        pol_.slot_init(tail_slot(), as_word(sentinel));
+    }
+
+    TxQueue(const TxQueue&) = delete;
+    TxQueue& operator=(const TxQueue&) = delete;
+
+    ~TxQueue() {
+        void* cur = as_ptr(pol_.slot_peek(head_slot()));
+        while (cur != nullptr) {
+            void* next = as_ptr(pol_.slot_peek(next_slot(cur)));
+            reap_node(cur, &reap_);
+            cur = next;
+        }
+        pol_.slot_destroy(head_slot());
+        pol_.slot_destroy(tail_slot());
+        ::operator delete(anchors_);
+    }
+
+    Handle make_handle() {
+        Handle h{pol_.make_context(), {}, 0x9e3779b97f4a7c15ull};
+        heap_.attach(h.heap);
+        return h;
+    }
+
+    void enqueue(Handle& h, std::uint64_t value) {
+        run_alloc_tx(pol_, h, [&](auto& tx) {
+            void* n = h.heap.tx_alloc(node_bytes());
+            value_of(n) = value;
+            pol_.slot_init(next_slot(n), 0);
+            void* tail = as_ptr(tx.load(tail_slot()));
+            tx.store(next_slot(tail), as_word(n));
+            tx.store(tail_slot(), as_word(n));
+        });
+    }
+
+    // False when the queue is empty.
+    bool dequeue(Handle& h, std::uint64_t& out) {
+        bool ok = false;
+        run_alloc_tx(pol_, h, [&](auto& tx) {
+            ok = false;
+            void* sentinel = as_ptr(tx.load(head_slot()));
+            const std::uint64_t first = tx.load(next_slot(sentinel));
+            if (first == 0) return;  // empty
+            out = value_of(as_ptr(first));
+            tx.store(head_slot(), first);
+            h.heap.tx_free(sentinel, &reap_node, &reap_);
+            ok = true;
+        });
+        return ok;
+    }
+
+    // Quiesced-state only.
+    std::size_t unsafe_size() const {
+        std::size_t n = 0;
+        void* cur = as_ptr(pol_.slot_peek(head_slot()));
+        std::uint64_t next = pol_.slot_peek(next_slot(cur));
+        while (next != 0) {
+            ++n;
+            next = pol_.slot_peek(next_slot(as_ptr(next)));
+        }
+        return n;
+    }
+
+    stm::TxHeap& heap() { return heap_; }
+    const Policy& policy() const { return pol_; }
+
+ private:
+    struct Reap {
+        stm::Engine::SlotDtor slot_dtor;
+        std::size_t stride;
+    };
+
+    static constexpr std::size_t kHdr = sizeof(std::uint64_t);
+
+    static std::uint64_t& value_of(void* n) {
+        return *static_cast<std::uint64_t*>(n);
+    }
+    static void* as_ptr(std::uint64_t w) {
+        return reinterpret_cast<void*>(static_cast<std::uintptr_t>(w));
+    }
+    static std::uint64_t as_word(void* p) {
+        return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+    }
+
+    void* head_slot() const { return anchors_; }
+    void* tail_slot() const { return static_cast<char*>(anchors_) + stride_; }
+    void* next_slot(void* n) const { return static_cast<char*>(n) + kHdr; }
+    std::size_t node_bytes() const { return kHdr + stride_; }
+
+    void* raw_node(std::uint64_t value) const {
+        void* n = ::operator new(node_bytes());
+        value_of(n) = value;
+        pol_.slot_init(next_slot(n), 0);
+        return n;
+    }
+
+    static void reap_node(void* n, void* ctx) noexcept {
+        const Reap* r = static_cast<const Reap*>(ctx);
+        r->slot_dtor(static_cast<char*>(n) + kHdr);
+        ::operator delete(n);
+    }
+
+    Policy pol_;
+    std::size_t stride_;
+    Reap reap_;  // declared before heap_: limbo drains in ~heap_ use it
+    stm::TxHeap heap_;
+    void* anchors_ = nullptr;
+};
+
+}  // namespace ds
+}  // namespace chronostm

@@ -1,0 +1,137 @@
+#pragma once
+// Transactional allocation: tx_alloc / tx_free with commit/abort-deferred
+// effects, backed by epoch-based reclamation (util/epochs.hpp).
+//
+// Semantics (the tl2 tmalloc shape):
+//   tx_alloc -- memory is usable immediately (the transaction initializes
+//               it through buffered writes), but ownership transfers to
+//               the structure only at commit. An aborted attempt frees its
+//               allocations right away: nothing was published, so no other
+//               thread can hold the pointer.
+//   tx_free  -- deferred entirely to commit. On abort it is forgotten. On
+//               commit the node is NOT freed but *retired* into the epoch
+//               domain: concurrent doomed readers and multi-version
+//               history entries may still reach it until every pin from
+//               its epoch has drained.
+//
+// Attempt boundaries: the engines re-invoke the transaction functor on
+// every retry, so HeapCtx::begin_attempt() -- called at the top of each
+// functor invocation by the container run wrapper -- rolls the *previous*
+// attempt's allocations back before the new attempt starts logging.
+// commit()/abort() settle the final attempt.
+//
+// One HeapCtx per thread, one TxHeap per container (or shared). The pin
+// window (PinGuard from pin()) must cover the whole run() call so doomed
+// attempts stay protected.
+
+#include <chronostm/util/epochs.hpp>
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace chronostm {
+namespace stm {
+
+class TxHeap;
+
+class HeapCtx {
+ public:
+    HeapCtx() = default;
+
+    // Usable immediately; reverted if this attempt aborts.
+    void* tx_alloc(std::size_t bytes) {
+        void* p = ::operator new(bytes);
+        allocs_.push_back(p);
+        return p;
+    }
+
+    // Takes effect (as an epoch retire) only if this attempt commits. The
+    // optional deleter runs at reclamation time (slot destructors over
+    // node layouts only the container understands); its ctx must outlive
+    // the epoch domain's limbo, i.e. the container itself.
+    void tx_free(void* p, eb::Deleter del = nullptr, void* ctx = nullptr) {
+        if (p != nullptr) frees_.push_back(Pending{p, del, ctx});
+    }
+
+    // Top of every transaction-functor invocation: a pending log here
+    // means the previous attempt aborted inside the engine's retry loop --
+    // undo its allocations (never published: engines buffer writes, so an
+    // aborted attempt leaked no pointer into shared memory) and forget its
+    // frees.
+    void begin_attempt() noexcept {
+        rollback();
+    }
+
+    // After the engine's run() returned: the last attempt committed. Its
+    // allocations now belong to the data structure; its frees retire.
+    void commit() noexcept {
+        allocs_.clear();
+        for (const Pending& f : frees_)
+            part_->retire(f.ptr, f.del != nullptr ? f.del : &default_reap,
+                          f.ctx);
+        frees_.clear();
+    }
+
+    // run() threw (retry exhaustion, user exception): settle like an
+    // abort. Aborted allocations are released raw -- slots on a private
+    // node own nothing (LSA history rings allocate only on committed
+    // writes, and no write targeting a private node can have committed).
+    void rollback() noexcept {
+        for (void* p : allocs_) ::operator delete(p);
+        allocs_.clear();
+        frees_.clear();
+    }
+
+    // Pin for the duration of one run() call (all attempts). Readers that
+    // never allocate still need this: the pin is what keeps nodes freed
+    // under them alive.
+    eb::PinGuard pin() noexcept { return eb::PinGuard(*part_); }
+
+    eb::Participant& participant() noexcept { return *part_; }
+    bool attached() const noexcept { return part_ != nullptr; }
+
+ private:
+    friend class TxHeap;
+
+    struct Pending {
+        void* ptr;
+        eb::Deleter del;
+        void* ctx;
+    };
+
+    static void default_reap(void* p, void*) noexcept { ::operator delete(p); }
+
+    std::shared_ptr<eb::Participant> part_;
+    std::vector<void*> allocs_;
+    std::vector<Pending> frees_;
+};
+
+// Owns the epoch domain. Must outlive every HeapCtx it attached.
+class TxHeap {
+ public:
+    HeapCtx make_ctx() {
+        HeapCtx c;
+        c.part_ = domain_.register_participant();
+        return c;
+    }
+
+    void attach(HeapCtx& c) { c.part_ = domain_.register_participant(); }
+
+    eb::EpochDomain& domain() noexcept { return domain_; }
+    eb::DomainStats stats() const { return domain_.stats(); }
+
+    // Test/teardown helper: push the epoch until limbo drains (no thread
+    // may be pinned). Bounded so a stuck pin fails loudly via the caller's
+    // assertion on stats().limbo rather than hanging.
+    void drain(unsigned rounds = 8) {
+        for (unsigned i = 0; i < rounds; ++i) domain_.try_advance();
+    }
+
+ private:
+    eb::EpochDomain domain_;
+};
+
+}  // namespace stm
+}  // namespace chronostm

@@ -1,0 +1,51 @@
+// Shared engine knobs, hoisted out of StmConfig/OrecConfig (which both
+// inherit from CommonConfig, so the old field spellings -- cfg.epoch_filter,
+// cfg.irrevocable_threshold, ... -- keep compiling everywhere). The engine
+// registry (stm/facade.hpp) parses these from the engine spec string:
+//
+//   stm::make("orec:bits=14,irrev=32,spin=128,filter=off")
+//
+// Keys map one-to-one onto fields below (plus each engine's private keys);
+// the grammar is the time-base facade's: case-insensitive, later key wins,
+// unknown keys rejected loudly.
+//
+// No core include may depend on anything heavier than this header: both
+// core engines include it, so it stays dependency-free.
+
+#pragma once
+
+#include <cstdint>
+
+namespace chronostm {
+namespace stm {
+
+struct CommonConfig {
+    // Lazy snapshot extension on reads that find a too-new version.
+    bool read_extension = true;
+    // Spins on a foreign lock before the contention machinery gives up
+    // (LSA: hands the conflict to the contention manager; orec: starts
+    // stall detection).
+    unsigned lock_spin = 256;
+    // Stalled-committer tolerance (orec engine; the LSA engine derives its
+    // wait budget from lock_spin and the contention manager): once
+    // lock_spin polite spins are burnt the waiter keeps spinning until
+    // EITHER the attempt budget (stall_spin_factor * lock_spin total
+    // spins) runs out OR the time base advances past an anchor by
+    // stall_ts_budget stamps while the lock never moves.
+    unsigned stall_spin_factor = 64;
+    std::uint64_t stall_ts_budget = 64;
+    // Bounded retry: run() throws after this many consecutive aborts.
+    unsigned max_retries = 1'000'000;
+    // Graceful-degradation ladder, final rung: consecutive-abort count at
+    // which run() escalates the transaction to irrevocable serial mode.
+    // 0 disables escalation (retry exhaustion then throws RetryExhausted).
+    unsigned irrevocable_threshold = 64;
+    // Commit-epoch validation filter: writers bump one engine-global epoch
+    // word while holding their write locks; readers whose epoch snapshot
+    // is unchanged skip the O(R) read-set walk in try_extend() and at
+    // commit. Off forces the full walk every time (bench twin/debugging).
+    bool epoch_filter = true;
+};
+
+}  // namespace stm
+}  // namespace chronostm

@@ -29,9 +29,11 @@ inline std::string extract_timebase_flag(int argc, char** argv) {
     return std::string();
 }
 
-// Reads the uniform --engine flag the same way ("lsa" when absent);
-// drivers use it to pick which engine backs their dynamic rows. Dropped
-// before google-benchmark parses the rest, like --timebase.
+// Reads the uniform --engine flag the same way ("lsa" when absent); the
+// value is a full stm::make() registry spec ("orec:bits=14,irrev=32",
+// comma-separated for sweeps) the driver resolves when registering
+// dynamic rows. Dropped before google-benchmark parses the rest, like
+// --timebase.
 inline std::string extract_engine_flag(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include <chronostm/stm/facade.hpp>
 #include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/affinity.hpp>
 #include <chronostm/util/cli.hpp>
@@ -54,26 +55,42 @@ inline long find_timebase_spec(const std::vector<std::string>& specs,
     return -1;
 }
 
-// Engine selection is uniform like time-base selection: flag_engine
-// declares --engine= on drivers whose measurement is engine-agnostic
-// (both engines run LSA over the tb facade; the orec engine swaps
-// per-TVar metadata for the global orec table). validate_engine_flag
-// fails loudly on typos right after parse.
+// Engine selection is uniform like time-base selection, and goes through
+// the stm::make() registry: --engine= takes full engine specs
+// ("orec:bits=14,irrev=32"), comma-separated for one-series-per-engine
+// sweeps, same grammar rules as --timebase (case-insensitive keys,
+// later-key-wins, loud unknown-name/key errors). validate_engine_flag
+// resolves every spec right after parse so a typo exits 2 with the
+// registry's message instead of terminating mid-run.
 inline Cli& flag_engine(Cli& cli, const std::string& def = "lsa") {
-    return cli.flag_str(
-        "engine", def,
-        "STM engine: lsa (per-TVar LSA-RT) or orec (orec-table word STM)");
+    return cli.flag_str("engine", def, stm::engine_spec_help());
 }
 
-inline bool engine_is_orec(const Cli& cli) {
-    return cli.str("engine") == "orec";
+inline std::vector<std::string> engine_specs(const Cli& cli) {
+    return stm::split_engine_specs(cli.str("engine"));
 }
 
 inline void validate_engine_flag(const Cli& cli) {
-    const std::string& e = cli.str("engine");
-    if (e != "lsa" && e != "orec")
-        throw std::invalid_argument(
-            "unknown --engine '" + e + "' (expected: lsa, orec)");
+    for (const auto& spec : stm::split_engine_specs(cli.str("engine")))
+        stm::make(spec);
+}
+
+// First spec's engine name; legacy single-engine drivers branch on this.
+inline bool engine_is_orec(const Cli& cli) {
+    const auto specs = stm::split_engine_specs(cli.str("engine"));
+    return !specs.empty() &&
+           stm::parse_engine_spec(specs.front()).name == "orec";
+}
+
+// Append registry params to an engine spec (later key wins, so driver
+// flags like --epoch-filter=off can override whatever the spec said).
+inline std::string engine_spec_with(std::string spec,
+                                    const std::string& extra) {
+    if (!extra.empty()) {
+        spec += spec.find(':') == std::string::npos ? ':' : ',';
+        spec += extra;
+    }
+    return spec;
 }
 
 // Commit-epoch filter toggle, uniform across drivers that expose it:

@@ -200,15 +200,46 @@ def main():
                     help="fail when a failpoints-build commit row exceeds "
                          "this ratio of its plain-build twin (default: "
                          "1.05)")
+    ap.add_argument("--ds-blob", default=None,
+                    help="tab_datastructures --json blob. Two SAME-RUN "
+                         "gates ride on it. (1) Every facade row pairs "
+                         "with its direct twin by (structure, engine_spec, "
+                         "threads, update_pct); per-cell ratios are "
+                         "reported and the GEOMEAN per engine must stay "
+                         "under --ds-facade-tolerance -- per-cell gating "
+                         "would flake on the short queue cells, but the "
+                         "dispatch cost is a constant per slot access, so "
+                         "the engine-level geomean is the stable signal. "
+                         "The glock baseline is reported, not gated: its "
+                         "near-empty transactions make the bounded "
+                         "dispatch constant a large relative cost (the "
+                         "--facade-min-ns phenomenon at engine "
+                         "granularity) while lsa/orec gate the identical "
+                         "dispatch machinery. "
+                         "(2) The orec skiplist must beat the glock "
+                         "baseline by --ds-glock-margin on every "
+                         "threads>=2 cell (facade dispatch on both sides); "
+                         "skipped with a notice when the blob's "
+                         "host_threads < 2 -- a 1-CPU host never pays the "
+                         "big lock's real convoy cost")
+    ap.add_argument("--ds-facade-tolerance", type=float, default=1.15,
+                    help="fail when an engine's geomean direct/facade "
+                         "throughput ratio exceeds this (default: 1.15, "
+                         "the facade's documented <= 15% dispatch budget)")
+    ap.add_argument("--ds-glock-margin", type=float, default=1.0,
+                    help="fail when glock skiplist throughput exceeds this "
+                         "ratio of orec's on a threads>=2 cell (default: "
+                         "1.0 -- orec must outright win under contention)")
     ap.add_argument("--gate-threads", action="store_true",
                     help="also gate multi-threaded (/threads:N) rows. Off "
                          "by default: contended costs are machine-shaped "
                          "(a 1-CPU baseline host never pays real cache-line "
                          "ping-pong), so cross-host ratios on those rows "
                          "measure the hardware, not the code")
-    ap.add_argument("pairs", nargs="+", metavar="driver=current.json",
+    ap.add_argument("pairs", nargs="*", metavar="driver=current.json",
                     help="driver name (key under baseline 'drivers') and its "
-                         "fresh --json blob")
+                         "fresh --json blob; may be empty when only "
+                         "--ds-blob gates are wanted")
     args = ap.parse_args()
 
     try:
@@ -475,6 +506,119 @@ def main():
             compared += 1
             print(f"  {name:<44} {base[name]:>12.1f} {cur[name]:>12.1f} "
                   f"{ratio:>6.2f}x  {verdict}")
+
+    # Datastructure gates: SAME-RUN pairs inside the tab_datastructures
+    # blob; no cross-host baseline is involved.
+    if args.ds_blob:
+        try:
+            with open(args.ds_blob) as f:
+                ds = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {args.ds_blob}: {e}", file=sys.stderr)
+            return 2
+        rows = ds.get("rows", [])
+        if not rows:
+            print("error: --ds-blob has no rows", file=sys.stderr)
+            return 2
+        mops = {}
+        for r in rows:
+            key = (r["structure"], r["engine_spec"], r["dispatch"],
+                   r["threads"], r["update_pct"])
+            mops[key] = float(r["mops"])
+
+        # Gate 1: facade within --ds-facade-tolerance of its direct twin,
+        # geomean per engine. Per-cell ratios are printed so a single bad
+        # cell is visible even when the geomean absorbs it.
+        print(f"\ntab_datastructures facade dispatch (geomean per engine "
+              f"<= {args.ds_facade_tolerance:g}x, same run):")
+        print(f"  {'cell':<52} {'direct':>8} {'facade':>8} {'ratio':>7}")
+        per_engine = {}
+        for (st, espec, disp, thr, pct), facade_mops in sorted(mops.items()):
+            if disp != "facade":
+                continue
+            direct_mops = mops.get((st, espec, "direct", thr, pct))
+            if direct_mops is None or facade_mops <= 0:
+                continue
+            ratio = direct_mops / facade_mops  # >1 means the facade lost
+            per_engine.setdefault(espec, []).append(ratio)
+            cell = f"{st}/{espec}/t{thr}/u{pct}"
+            print(f"  {cell:<52} {direct_mops:>8.3f} {facade_mops:>8.3f} "
+                  f"{ratio:>6.2f}x")
+        if not per_engine:
+            print("error: --ds-blob has no facade/direct pairs",
+                  file=sys.stderr)
+            return 2
+        gated_engines = 0
+        for espec, ratios in sorted(per_engine.items()):
+            geo = 1.0
+            for r in ratios:
+                geo *= r
+            geo **= 1.0 / len(ratios)
+            # The big-lock baseline is the --facade-min-ns phenomenon at
+            # engine granularity: its transactions are near-empty (mutex
+            # plus a couple of word accesses), so the dispatch's bounded
+            # per-access constant is a large RELATIVE cost while the
+            # engines people actually run stay gated on the identical
+            # dispatch machinery. Reported, not gated.
+            if espec.split(":")[0] in ("glock", "globallock", "lock"):
+                print(f"  geomean {espec:<44} {'':>8} {'':>8} {geo:>6.2f}x  "
+                      f"reported (baseline engine, near-empty ops)")
+                continue
+            verdict = ("REGRESSION" if geo > args.ds_facade_tolerance
+                       else "ok")
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            gated_engines += 1
+            print(f"  geomean {espec:<44} {'':>8} {'':>8} {geo:>6.2f}x  "
+                  f"{verdict}")
+        if gated_engines == 0:
+            print("error: --ds-blob gated no engines (only baseline "
+                  "engines present?)", file=sys.stderr)
+            return 2
+
+        # Gate 2: the orec skiplist beats the glock baseline wherever the
+        # host can actually run two threads. Both sides use the facade
+        # dispatch (the public path; dispatch cost cancels in the ratio).
+        host_threads = int(ds.get("host_threads", 0))
+        orec_cells = sorted(
+            (thr, pct, espec) for (st, espec, disp, thr, pct) in mops
+            if st == "skiplist" and disp == "facade" and thr >= 2 and
+            espec.split(":")[0] == "orec")
+        glock_by_cell = {
+            (thr, pct): mops[(st, espec, disp, thr, pct)]
+            for (st, espec, disp, thr, pct) in mops
+            if st == "skiplist" and disp == "facade" and
+            espec.split(":")[0] == "glock"}
+        if host_threads < 2:
+            print(f"\ntab_datastructures orec vs glock skiplist: SKIPPED "
+                  f"(host_threads={host_threads} < 2; the big lock never "
+                  f"pays real contention on one CPU)")
+        elif not orec_cells or not glock_by_cell:
+            print("error: --ds-blob lacks orec or glock skiplist rows at "
+                  ">= 2 threads", file=sys.stderr)
+            return 2
+        else:
+            print(f"\ntab_datastructures orec vs glock skiplist "
+                  f"(margin {args.ds_glock_margin:g}x at >= 2 threads, "
+                  f"same run):")
+            print(f"  {'cell':<52} {'glock':>8} {'orec':>8} {'ratio':>7}")
+            for thr, pct, espec in orec_cells:
+                glock = glock_by_cell.get((thr, pct))
+                if glock is None:
+                    continue
+                orec = mops[("skiplist", espec, "facade", thr, pct)]
+                if orec <= 0:
+                    continue
+                ratio = glock / orec  # >margin means glock won
+                verdict = ("REGRESSION" if ratio > args.ds_glock_margin
+                           else "ok")
+                if verdict != "ok":
+                    regressions += 1
+                compared += 1
+                cell = f"skiplist/{espec}-vs-glock/t{thr}/u{pct}"
+                print(f"  {cell:<52} {glock:>8.3f} {orec:>8.3f} "
+                      f"{ratio:>6.2f}x  {verdict}")
 
     if regressions:
         print(f"\nFAIL: {regressions} benchmarks regressed past "
