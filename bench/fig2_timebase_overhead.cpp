@@ -37,6 +37,7 @@ namespace {
 struct Point {
     double mtx = 0;
     TxStats stats;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0;
 };
 
 template <typename A>
@@ -55,7 +56,8 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return {res.mops_per_sec, adapter.collected_stats()};
+    return {res.mops_per_sec, adapter.collected_stats(), res.p50_ns,
+            res.p99_ns, res.p999_ns};
 }
 
 // The time-base overhead question is engine-agnostic (the time-base
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
     wl::flag_timebase(cli, "shared,batched:B=8,sharded:S=4,mmtimer,perfect");
     wl::flag_engine(cli);
     wl::flag_epoch_filter(cli);
+    wl::flag_filter_stripes(cli);
     wl::flag_irrevocable_threshold(cli);
     wl::flag_chaos_seed(cli);
     cli.flag_i64("duration-ms", 300, "measured window per point")
@@ -97,18 +100,23 @@ int main(int argc, char** argv) {
         if (wl::engine_specs(cli).empty())
             throw std::invalid_argument("--engine resolved to no specs");
         wl::epoch_filter_enabled(cli);
+        if (wl::filter_stripes_flag(cli).size() != 1)
+            throw std::invalid_argument(
+                "--filter-stripes takes exactly one value here");
         wl::irrevocable_threshold_flag(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
     const bool epoch_filter = wl::epoch_filter_enabled(cli);
+    const unsigned filter_stripes = wl::filter_stripes_flag(cli).front();
     const unsigned irrev_threshold = wl::irrevocable_threshold_flag(cli);
     // One engine spec drives the figure; the driver-level flags append as
     // registry keys (later key wins, so the flags override spec keys).
     const std::string engine_spec = wl::engine_spec_with(
         wl::engine_specs(cli).front(),
         std::string("filter=") + (epoch_filter ? "on" : "off") +
+            ",stripes=" + std::to_string(filter_stripes) +
             ",irrev=" + std::to_string(irrev_threshold));
     const std::string engine_name = stm::parse_engine_spec(engine_spec).name;
 #ifdef CHRONOSTM_FAILPOINTS
@@ -139,6 +147,7 @@ int main(int argc, char** argv) {
         .kv("timebase", cli.str("timebase"))
         .kv("engine", cli.str("engine"))
         .kv("epoch_filter", epoch_filter)
+        .kv("filter_stripes", filter_stripes)
         .key("panels")
         .arr_begin();
 
@@ -171,6 +180,7 @@ int main(int argc, char** argv) {
                 json.obj_begin()
                     .kv("timebase", tb_specs[i])
                     .kv("mtxs", p.mtx);
+                wl::latency_json(json, p);
                 wl::tx_stats_json(json, p.stats).obj_end();
             }
             json.arr_end()

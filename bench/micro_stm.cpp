@@ -222,6 +222,113 @@ void bm_extend_orec(benchmark::State& state, const std::string& spec,
     state.SetItemsProcessed(state.iterations());
 }
 
+// --- striped-filter rows: extension under a DISJOINT writer -------------
+//
+// The workload the stripe sharding exists for: a long-lived reader holds
+// R reads while a writer commits -- every iteration -- to a var OUTSIDE
+// the reader's stripes. With the single-word filter (stripes=1, the
+// _Stripe1 twins) every writer bump kills the fast hit and the extension
+// walks all R entries; with the default striping the bump lands outside
+// the reader's signature and the extension stays O(touched stripes).
+// check_bench.py --stripe-gate requires default >= 2x _Stripe1 at R=8192.
+//
+// The writer runs interleaved on the SAME thread (one commit per
+// iteration) rather than free-running: on a single-CPU host a background
+// thread would starve during the timed loop and the stripes=1 row would
+// fast-hit too, collapsing the ratio. Both rows pay the identical writer
+// commit, so the delta isolates the extension cost.
+//
+// Reader vars live in one contiguous arena of heap-history slots
+// (TVar<long, false>, three words each) so the R=8192 footprint spans a
+// handful of 16KiB range stripes instead of the whole heap; the writer
+// var is probed into a stripe outside the reader's signature (verified
+// via filter_stripe_of, not assumed from the arithmetic).
+
+constexpr std::size_t kStripeBlock = 16 * 1024;
+
+void bm_extend_lsa_disjoint(benchmark::State& state, unsigned stripes) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    using Slot = TVar<long, false>;
+    StmConfig cfg;
+    cfg.filter_stripes = stripes;
+    LsaStm stm(tb::make("shared"), cfg);
+    std::unique_ptr<unsigned char[]> rbuf(
+        new unsigned char[reads * sizeof(Slot)]);
+    auto* rv = reinterpret_cast<Slot*>(rbuf.get());
+    for (std::size_t i = 0; i < reads; ++i) new (rv + i) Slot(1);
+    std::uint64_t rsig = 0;
+    for (std::size_t i = 0; i < reads; ++i)
+        rsig |= std::uint64_t{1} << stm.filter_stripe_of(rv + i);
+    std::unique_ptr<unsigned char[]> wbuf(
+        new unsigned char[64 * kStripeBlock]);
+    Slot* wv = nullptr;
+    for (unsigned c = 0; c < 64 && wv == nullptr; ++c) {
+        unsigned char* cand = wbuf.get() + c * kStripeBlock;
+        if (!((rsig >> stm.filter_stripe_of(cand)) & 1u))
+            wv = new (cand) Slot(1);
+    }
+    if (wv == nullptr)  // stripes=1: no stripe is disjoint, any slot does
+        wv = new (wbuf.get()) Slot(1);
+
+    {
+        auto rctx = stm.make_context();
+        auto wctx = stm.make_context();
+        Transaction tx = rctx.txn_begin();
+        long sum = 0;
+        for (std::size_t i = 0; i < reads; ++i) sum += rv[i].get(tx);
+        benchmark::DoNotOptimize(sum);
+        for (auto _ : state) {
+            wctx.run(
+                [&](Transaction& t) { wv->set(t, wv->get(t) + 1); });
+            benchmark::DoNotOptimize(tx.try_extend_now());
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    wv->~Slot();
+    for (std::size_t i = 0; i < reads; ++i) rv[i].~Slot();
+}
+
+void bm_extend_orec_disjoint(benchmark::State& state, unsigned stripes) {
+    const auto reads = static_cast<std::size_t>(state.range(0));
+    OrecConfig cfg;
+    cfg.filter_stripes = stripes;
+    OrecStm stm(tb::make("shared"), cfg);
+    std::unique_ptr<unsigned char[]> rbuf(
+        new unsigned char[reads * sizeof(WordVar<long>)]);
+    auto* rv = reinterpret_cast<WordVar<long>*>(rbuf.get());
+    for (std::size_t i = 0; i < reads; ++i) new (rv + i) WordVar<long>(1);
+    std::uint64_t rsig = 0;
+    for (std::size_t i = 0; i < reads; ++i)
+        rsig |= std::uint64_t{1} << stm.filter_stripe_of(rv + i);
+    std::unique_ptr<unsigned char[]> wbuf(
+        new unsigned char[64 * kStripeBlock]);
+    WordVar<long>* wv = nullptr;
+    for (unsigned c = 0; c < 64 && wv == nullptr; ++c) {
+        unsigned char* cand = wbuf.get() + c * kStripeBlock;
+        if (!((rsig >> stm.filter_stripe_of(cand)) & 1u))
+            wv = new (cand) WordVar<long>(1);
+    }
+    if (wv == nullptr)
+        wv = new (wbuf.get()) WordVar<long>(1);
+
+    {
+        auto rctx = stm.make_context();
+        auto wctx = stm.make_context();
+        OrecTransaction tx = rctx.txn_begin();
+        long sum = 0;
+        for (std::size_t i = 0; i < reads; ++i) sum += rv[i].get(tx);
+        benchmark::DoNotOptimize(sum);
+        for (auto _ : state) {
+            wctx.run(
+                [&](OrecTransaction& t) { wv->set(t, wv->get(t) + 1); });
+            benchmark::DoNotOptimize(tx.try_extend_now());
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    wv->~WordVar<long>();
+    for (std::size_t i = 0; i < reads; ++i) rv[i].~WordVar<long>();
+}
+
 // --- read-only commit fast path (no stamp drawn) ------------------------
 //
 // Single-var transactions on the shared counter: the update twin pays the
@@ -363,6 +470,18 @@ void BM_Extend_Lsa_Sharded4(benchmark::State& s) {
 void BM_Extend_Lsa_Sharded4_NoFilter(benchmark::State& s) {
     bm_extend_lsa(s, "sharded:S=4", false);
 }
+void BM_Extend_Lsa_DisjointWriter(benchmark::State& s) {
+    bm_extend_lsa_disjoint(s, 64);
+}
+void BM_Extend_Lsa_DisjointWriter_Stripe1(benchmark::State& s) {
+    bm_extend_lsa_disjoint(s, 1);
+}
+void BM_Extend_Orec_DisjointWriter(benchmark::State& s) {
+    bm_extend_orec_disjoint(s, 64);
+}
+void BM_Extend_Orec_DisjointWriter_Stripe1(benchmark::State& s) {
+    bm_extend_orec_disjoint(s, 1);
+}
 void BM_ReadOnly_Commit_Lsa(benchmark::State& s) { bm_ro_commit_lsa(s); }
 void BM_Update_Commit_Lsa(benchmark::State& s) { bm_update_commit_lsa(s); }
 void BM_ReadOnly_Commit_Orec(benchmark::State& s) { bm_ro_commit_orec(s); }
@@ -400,6 +519,10 @@ BENCHMARK(BM_Extend_Lsa_Batched8)->Arg(8192);
 BENCHMARK(BM_Extend_Lsa_Batched8_NoFilter)->Arg(8192);
 BENCHMARK(BM_Extend_Lsa_Sharded4)->Arg(8192);
 BENCHMARK(BM_Extend_Lsa_Sharded4_NoFilter)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_DisjointWriter)->Arg(8192);
+BENCHMARK(BM_Extend_Lsa_DisjointWriter_Stripe1)->Arg(8192);
+BENCHMARK(BM_Extend_Orec_DisjointWriter)->Arg(8192);
+BENCHMARK(BM_Extend_Orec_DisjointWriter_Stripe1)->Arg(8192);
 BENCHMARK(BM_ReadOnly_Commit_Lsa);
 BENCHMARK(BM_Update_Commit_Lsa);
 BENCHMARK(BM_ReadOnly_Commit_Orec);

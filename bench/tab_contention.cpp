@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
         double mtx = 0;
         std::uint64_t total_ops = 0;
         bool conserved = true;
+        wl::RunResult rr;
         stm::visit(eng, [&](auto& adapter) {
             using A = std::decay_t<decltype(adapter)>;
             wl::Bank<A> bank(accounts, 1000, zipf);
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
             mtx = res.mops_per_sec;
             total_ops = res.total_ops;
             conserved = bank.unsafe_total() == bank.expected_total();
+            rr = res;
         });
 
         const auto stats = eng.collected_stats();
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
             .kv("mtxs", mtx)
             .kv("abort_ratio", ratio)
             .kv("conserved", conserved);
+        wl::latency_json(json, rr);
         wl::tx_stats_json(json, stats).obj_end();
         all_progress = all_progress && total_ops > 0;
         all_conserved = all_conserved && conserved;

@@ -29,6 +29,7 @@ namespace {
 struct Point {
     double mtx = 0;
     TxStats stats;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0;
 };
 
 template <typename A>
@@ -46,7 +47,8 @@ Point measure(A& adapter, unsigned threads, unsigned accesses,
             work.run_txn(adapter, *ctx, tid, accesses, *rng);
         };
     });
-    return {res.mops_per_sec, adapter.collected_stats()};
+    return {res.mops_per_sec, adapter.collected_stats(), res.p50_ns,
+            res.p99_ns, res.p999_ns};
 }
 
 }  // namespace
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
             json.obj_begin()
                 .kv("timebase", tb_specs[i])
                 .kv("mtxs", p.mtx);
+            wl::latency_json(json, p);
             wl::tx_stats_json(json, p.stats).obj_end();
         }
         json.arr_end()

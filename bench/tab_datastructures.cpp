@@ -52,6 +52,7 @@ struct Cell {
     double mops = 0;
     double abort_ratio = 0;
     TxStats stats;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0;
 };
 
 // Parse a comma-separated list of unsigned values ("1,2,4").
@@ -122,6 +123,9 @@ Cell run_cell(const GetStats& stats_of, unsigned threads, double duration_ms,
         const auto res = wl::run_throughput(spec, factory);
         Cell c;
         c.mops = res.mops_per_sec;
+        c.p50_ns = res.p50_ns;
+        c.p99_ns = res.p99_ns;
+        c.p999_ns = res.p999_ns;
         c.stats = stats_delta(stats_of(), before);
         const std::uint64_t tot = c.stats.commits() + c.stats.aborts();
         c.abort_ratio =
@@ -361,6 +365,7 @@ int main(int argc, char** argv) {
                     .kv("update_pct", pct)
                     .kv("mops", c.mops)
                     .kv("abort_ratio", c.abort_ratio);
+                wl::latency_json(json, c);
                 wl::tx_stats_json(json, c.stats).obj_end();
             };
             const auto stats_of = [&eng] { return eng.collected_stats(); };

@@ -31,6 +31,7 @@ struct Cell {
     std::uint64_t helped = 0;
     bool conserved = true;
     TxStats stats;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0;
 };
 
 Cell run_cell(const std::string& tb_spec, bool help, unsigned threads,
@@ -53,6 +54,9 @@ Cell run_cell(const std::string& tb_spec, bool help, unsigned threads,
 
     Cell c;
     c.mtx = res.mops_per_sec;
+    c.p50_ns = res.p50_ns;
+    c.p99_ns = res.p99_ns;
+    c.p999_ns = res.p999_ns;
     c.stats = adapter.stm().collected_stats();
     c.helped = c.stats.helped_commits + c.stats.helped_timestamps;
     c.conserved = bank.unsafe_total() == bank.expected_total();
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
             .kv("spin_mtxs", spin.mtx)
             .kv("conserved", with_help.conserved && spin.conserved)
             .kv("oversubscribed", n > hw);
+        wl::latency_json(json, with_help);
         wl::tx_stats_json(json, with_help.stats).obj_end();
     }
     t.add_note("oversubscribed rows force committer preemption: the regime "

@@ -34,8 +34,11 @@ using namespace chronostm;
 
 namespace {
 
+// Returns the full RunResult: the caller reads throughput off it and
+// forwards the per-op latency percentiles into the --json row.
 template <typename A>
-double bench_hashset(A& adapter, unsigned threads, double duration_ms) {
+wl::RunResult bench_hashset(A& adapter, unsigned threads,
+                            double duration_ms) {
     wl::IntsetHash<A> set(128);
     {
         auto ctx = adapter.make_context();
@@ -60,7 +63,7 @@ double bench_hashset(A& adapter, unsigned threads, double duration_ms) {
             }
         };
     });
-    return res.mops_per_sec;
+    return res;
 }
 
 template <typename A>
@@ -166,19 +169,22 @@ int main(int argc, char** argv) {
         };
         stm::Engine e1 = mk();
         stm::Engine e2 = mk();
-        double hs = 0, au = 0;
+        wl::RunResult hsres;
+        double au = 0;
         stm::visit(e1, [&](auto& a) {
-            hs = bench_hashset(a, threads, duration);
+            hsres = bench_hashset(a, threads, duration);
         });
         stm::visit(e2, [&](auto& a) {
             au = bench_audit(a, threads, duration, conserved);
         });
+        const double hs = hsres.mops_per_sec;
         t.add_row({label, Table::num(hs, 3), Table::num(au, 1)});
         json.obj_begin()
             .kv("system", label)
             .kv("engine_spec", espec)
             .kv("hashset_mtxs", hs)
             .kv("audits_ks", au);
+        wl::latency_json(json, hsres);
         wl::tx_stats_json(
             json, sum_stats(e1.collected_stats(), e2.collected_stats()))
             .obj_end();

@@ -34,6 +34,7 @@ struct Result {
     double abort_ratio = 0;
     TxStats stats;
     bool conserved = true;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0;
 };
 
 template <typename A>
@@ -65,6 +66,9 @@ Result run_core(A& adapter, unsigned threads, double duration_ms) {
 
     Result out;
     out.mtx = res.mops_per_sec;
+    out.p50_ns = res.p50_ns;
+    out.p99_ns = res.p99_ns;
+    out.p999_ns = res.p999_ns;
     const auto stats = adapter.collected_stats();
     out.abort_ratio = stats.commits() + stats.aborts() == 0
                           ? 0.0
@@ -177,6 +181,7 @@ int main(int argc, char** argv) {
                 .kv("mtxs", r.mtx)
                 .kv("abort_ratio", r.abort_ratio)
                 .kv("conserved", r.conserved);
+            wl::latency_json(json, r);
             wl::tx_stats_json(json, r.stats).obj_end();
             all_conserved = all_conserved && r.conserved;
             if (k == 8 && dev == 1) mv_small = r.abort_ratio;

@@ -1,0 +1,112 @@
+// Striped commit-epoch filter metadata shared by both engines.
+//
+// The PR 7 filter kept ONE engine-global epoch word: every update commit
+// bumped it under its write locks, and a reader whose begin-time snapshot
+// was unchanged skipped the O(R) read-set walk. That word is exactly the
+// centralized-metadata bottleneck the paper argues against -- a single
+// background writer anywhere in the heap invalidates every reader's fast
+// hit, and all committers serialize on one hot cache line.
+//
+// EpochStripes shards the word into `filter_stripes` cache-line-padded
+// counters. Writers bump only the stripes their write set hashes into;
+// each transaction accumulates a 64-bit stripe signature from its read
+// set plus a per-stripe snapshot taken at FIRST TOUCH of the stripe
+// (StripeScratch below), so try_extend() and commit-time validation
+// compare only touched stripes. Aliasing -- two locations sharing a
+// stripe -- can only force a spurious walk, never a stale fast hit: the
+// snapshot is loaded before the admitting lock-word load, and writers
+// bump before they unlock (DESIGN.md "Striped epoch soundness").
+//
+// The stripe count is rounded up to a power of two and clamped to
+// [1, kMaxStripes=64] so the signature fits one uint64_t; stripes=1
+// reproduces the single-word PR 7 filter bit for bit.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace chronostm {
+namespace detail {
+
+struct alignas(64) EpochStripe {
+    std::atomic<std::uint64_t> word{0};
+};
+
+class EpochStripes {
+ public:
+    static constexpr unsigned kMaxStripes = 64;
+
+    // Default address-range granularity: one stripe covers a contiguous
+    // 16 KiB block of address space (cycling every count*16 KiB). Range
+    // hashing -- NOT a mixing hash -- is deliberate: a transaction's
+    // footprint is allocation-clustered, so its signature covers few
+    // stripes and a writer working elsewhere in the heap lands outside
+    // them; a mixed hash would smear any R>count footprint over every
+    // stripe and the filter would degenerate to the single-word one. It
+    // also matches the orec engine's table geometry at the defaults
+    // (kOrecShift=4 + table_bits=16 - log2(64) = 14), where a stripe is a
+    // contiguous range of the orec table.
+    static constexpr unsigned kDefaultShift = 14;
+
+    EpochStripes() : EpochStripes(1) {}
+
+    explicit EpochStripes(unsigned want, unsigned shift = kDefaultShift)
+        : shift_(shift) {
+        unsigned n = 1;
+        while (n < want && n < kMaxStripes) n <<= 1;
+        count_ = n;
+        mask_ = n - 1;
+        stripes_ = std::make_unique<EpochStripe[]>(n);
+    }
+
+    unsigned count() const { return count_; }
+    unsigned mask() const { return mask_; }
+    unsigned shift() const { return shift_; }
+
+    unsigned stripe_of(const void* p) const {
+        return static_cast<unsigned>(reinterpret_cast<std::uintptr_t>(p) >>
+                                     shift_) &
+               mask_;
+    }
+
+    std::atomic<std::uint64_t>& operator[](unsigned i) {
+        return stripes_[i].word;
+    }
+    const std::atomic<std::uint64_t>& operator[](unsigned i) const {
+        return stripes_[i].word;
+    }
+
+    // Sum of all stripe words: the total number of epoch bumps the engine
+    // has performed. With one stripe this is the PR 7 commit_epoch_ word;
+    // with more it is a diagnostic aggregate (a commit bumps one counter
+    // per DISTINCT stripe its write set touches). Read-only commits never
+    // bump anything, so 0 still means "no update commit published".
+    std::uint64_t sum() const {
+        std::uint64_t s = 0;
+        for (unsigned i = 0; i < count_; ++i)
+            s += stripes_[i].word.load(std::memory_order_acquire);
+        return s;
+    }
+
+ private:
+    std::unique_ptr<EpochStripe[]> stripes_;
+    unsigned count_ = 1;
+    unsigned mask_ = 0;
+    unsigned shift_ = kDefaultShift;
+};
+
+// Per-transaction stripe state, owned by the thread context's access sets
+// so it is pooled with them (no hot-path allocation) and reset per
+// attempt. snap[s] is only meaningful where the signature bit s is set,
+// so reset is one store.
+struct StripeScratch {
+    std::uint64_t sig = 0;  // bitmap: stripes covered by the read set
+    std::uint64_t snap[EpochStripes::kMaxStripes];
+
+    void reset() { sig = 0; }
+};
+
+}  // namespace detail
+}  // namespace chronostm

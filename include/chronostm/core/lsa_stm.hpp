@@ -78,6 +78,7 @@
 #include <type_traits>
 #include <vector>
 
+#include <chronostm/core/epoch_stripes.hpp>
 #include <chronostm/stm/config.hpp>
 #include <chronostm/timebase/facade.hpp>
 #include <chronostm/util/failpoints.hpp>
@@ -169,6 +170,14 @@ class TxStats {
     std::uint64_t extension_fast_hits = 0;
     std::uint64_t validation_fast_hits = 0;
 
+    // Striped-filter traffic: `stripe_fast_hits` counts extension and
+    // commit-time validations the per-stripe comparison admitted without
+    // walking the read set; `stripe_walks` the times the comparison found a
+    // touched stripe bumped and forced the O(R) walk (a disjoint writer in
+    // another stripe moves neither). Both 0 with the filter off.
+    std::uint64_t stripe_fast_hits = 0;
+    std::uint64_t stripe_walks = 0;
+
     // Read-only commits: empty-write-set transactions that committed without
     // drawing a stamp, taking a lock, or bumping the commit epoch.
     std::uint64_t ro_commits = 0;
@@ -252,6 +261,8 @@ struct StatsBlock {
     std::atomic<std::uint64_t> extensions{0};
     std::atomic<std::uint64_t> extension_fast_hits{0};
     std::atomic<std::uint64_t> validation_fast_hits{0};
+    std::atomic<std::uint64_t> stripe_fast_hits{0};
+    std::atomic<std::uint64_t> stripe_walks{0};
     std::atomic<std::uint64_t> ro_commits{0};
     // Nanoseconds internally; TxStats surfaces microseconds.
     std::atomic<std::uint64_t> backoff_ns{0};
@@ -270,6 +281,9 @@ inline void fill_fast_path_stats(TxStats& s, const StatsBlock& b) {
         b.extension_fast_hits.load(std::memory_order_relaxed);
     s.validation_fast_hits +=
         b.validation_fast_hits.load(std::memory_order_relaxed);
+    s.stripe_fast_hits +=
+        b.stripe_fast_hits.load(std::memory_order_relaxed);
+    s.stripe_walks += b.stripe_walks.load(std::memory_order_relaxed);
     s.ro_commits += b.ro_commits.load(std::memory_order_relaxed);
     s.backoff_us += b.backoff_ns.load(std::memory_order_relaxed) / 1000;
     s.irrevocable_commits +=
@@ -740,6 +754,10 @@ struct AccessSets {
     // Commit-time scratch: slot indices this owner claimed, so the batched
     // write-back can publish them all after a single release fence.
     FlatVec<std::uint32_t> claimed;
+    // Striped epoch-filter state for the in-flight attempt: the read-set
+    // stripe signature plus the per-stripe epoch snapshots taken at first
+    // touch (core/epoch_stripes.hpp).
+    StripeScratch stripes;
 
     void reset() {
         reads.clear();
@@ -747,6 +765,7 @@ struct AccessSets {
         arena.reset();
         write_index.clear();
         claimed.clear();
+        stripes.reset();
     }
 };
 
@@ -1078,18 +1097,19 @@ class Transaction {
     Transaction(Clock& clk, const StmConfig& cfg, CmPolicy cm,
                 std::uint64_t dev, detail::StatsBlock* stats,
                 detail::TxDesc* desc, detail::AccessSets* sets,
-                std::atomic<std::uint64_t>* epoch,
+                detail::EpochStripes* stripes,
                 detail::IrrevGate* gate, bool* token_held)
         : clk_(clk), cfg_(cfg), cm_(cm), dev_(dev), stats_(stats),
-          desc_(desc), sets_(sets), epoch_(epoch), gate_(gate),
+          desc_(desc), sets_(sets), stripes_(stripes), gate_(gate),
           token_held_(token_held), irrevocable_(*token_held) {
         sets_->reset();
         CHRONOSTM_FP_SINK(&stats_->injected_faults);
-        // Epoch before time: a writer that commits between these two loads
-        // shows up as an epoch mismatch (false negative, walk runs), never
-        // as a stale fast hit.
-        if (cfg_.epoch_filter)
-            validated_at_epoch_ = epoch_->load(std::memory_order_acquire);
+        // Per-stripe epoch snapshots are taken lazily at the stripe's
+        // first touch, always BEFORE the touched var's lock-word load
+        // (touch_stripe in the read path): a writer that commits between
+        // snapshot and admission shows up as a stripe mismatch (false
+        // negative, walk runs), never as a stale fast hit. See DESIGN.md
+        // "Striped epoch soundness".
         upper_ = clk_.get_time();
         start_ts_ = upper_;
         // The snapshot's lower bound starts at the begin observation, not
@@ -1230,6 +1250,13 @@ class Transaction {
         // is a single store.
         const auto* dup = sets_->reads.find_or_stage(&var);
 
+        // Stripe snapshot BEFORE the admitting lock-word load: a writer
+        // publishing to this stripe after the snapshot is a visible bump
+        // at extension/validation time (spurious walk at worst). A dup
+        // read's stripe was snapshotted at its first admission, which also
+        // preceded this load.
+        if (cfg_.epoch_filter && dup == nullptr) touch_stripe(&var);
+
         for (;;) {
             std::uint64_t w1 = var.vlock_.load(std::memory_order_acquire);
             if (w1 & 1u) w1 = wait_on_foreign_lock(&var);
@@ -1314,17 +1341,74 @@ class Transaction {
         writes_sorted_ = false;
     }
 
+    // First touch of a stripe: load its epoch snapshot and set the
+    // signature bit. Callers must invoke this BEFORE the lock-word load
+    // that admits a read of a var in the stripe (soundness invariant in
+    // DESIGN.md "Striped epoch soundness").
+    void touch_stripe(const void* p) {
+        auto& sc = sets_->stripes;
+        const unsigned s = stripes_->stripe_of(p);
+        const std::uint64_t bit = std::uint64_t{1} << s;
+        if (!(sc.sig & bit)) {
+            sc.snap[s] = (*stripes_)[s].load(std::memory_order_acquire);
+            sc.sig |= bit;
+        }
+    }
+
+    // All touched stripes unchanged since their snapshots? Re-loads each
+    // signature stripe, recording the fresh values in `fresh` (indexed by
+    // stripe id) so the caller can re-anchor AFTER a successful walk via
+    // reanchor_stripes(). The snapshots must NOT be updated here: a
+    // failed walk proves a conflicting writer hit the read set, and
+    // absorbing its bump into the snapshot would let a later extension
+    // fast-hit past the very commit the walk just caught (the
+    // old-version fallback keeps read-only transactions alive after a
+    // failed extension, so the stale snapshot WOULD be consulted again
+    // -- the chaos bank oracle catches exactly this tear).
+    bool stripes_clean(std::uint64_t* fresh) {
+        auto& sc = sets_->stripes;
+        bool clean = true;
+        std::uint64_t sig = sc.sig;
+        while (sig != 0) {
+            const unsigned s =
+                static_cast<unsigned>(__builtin_ctzll(sig));
+            sig &= sig - 1;
+            const std::uint64_t e =
+                (*stripes_)[s].load(std::memory_order_acquire);
+            fresh[s] = e;
+            if (e != sc.snap[s]) clean = false;
+        }
+        return clean;
+    }
+
+    // Move the stripe snapshots to the pre-walk values captured by
+    // stripes_clean(). Only sound after a SUCCESSFUL walk: any bump <=
+    // fresh[s] whose publish the walk did not see keeps its var locked
+    // until that publish, so the walk would have failed on the locked
+    // word.
+    void reanchor_stripes(const std::uint64_t* fresh) {
+        auto& sc = sets_->stripes;
+        std::uint64_t sig = sc.sig;
+        while (sig != 0) {
+            const unsigned s =
+                static_cast<unsigned>(__builtin_ctzll(sig));
+            sig &= sig - 1;
+            sc.snap[s] = fresh[s];
+        }
+    }
+
     // Try to move `upper` to the present; all reads so far must still be
     // the most recent versions (a changed or locked word means the
     // extension would break snapshot consistency, so we refuse). The
-    // commit-epoch filter short-circuits the O(R) walk: if no writer
-    // bumped the epoch since this transaction last validated, no read-set
-    // word can have changed (every conflicting writer bumps while holding
-    // the var's lock and unlocks only by publishing). `nu` is drawn BEFORE
-    // the epoch load so a writer invisible to the epoch check necessarily
-    // drew its commit stamp after nu -- the deviation-aware admission rule
-    // then keeps its versions out of the extended snapshot. See DESIGN.md
-    // "Commit-epoch filter soundness".
+    // striped commit-epoch filter short-circuits the O(R) walk: if no
+    // writer bumped any stripe this transaction's read set hashes into
+    // since its snapshots, no read-set word can have changed (every
+    // conflicting writer bumps the covering stripe while holding the
+    // var's lock and unlocks only by publishing). `nu` is drawn BEFORE
+    // the stripe loads so a writer invisible to the stripe check
+    // necessarily drew its commit stamp after nu -- the deviation-aware
+    // admission rule then keeps its versions out of the extended
+    // snapshot. See DESIGN.md "Striped epoch soundness".
     // Failure reason is recorded in extend_conflict_: false means time
     // simply has not advanced past upper_ (a FRESHNESS condition), true
     // means walk_read_set() found a changed or locked read-set word (a
@@ -1337,23 +1421,23 @@ class Transaction {
         nu = std::min(nu, upper_cap_);
         if (nu <= upper_) return false;
         if (cfg_.epoch_filter) {
-            const std::uint64_t e = epoch_->load(std::memory_order_acquire);
-            if (e == validated_at_epoch_) {
+            std::uint64_t fresh[detail::EpochStripes::kMaxStripes];
+            if (stripes_clean(fresh)) {
                 upper_ = nu;
                 stats_->extensions.fetch_add(1, std::memory_order_relaxed);
                 stats_->extension_fast_hits.fetch_add(
                     1, std::memory_order_relaxed);
+                stats_->stripe_fast_hits.fetch_add(
+                    1, std::memory_order_relaxed);
                 return true;
             }
+            stats_->stripe_walks.fetch_add(1, std::memory_order_relaxed);
             if (!walk_read_set()) {
                 extend_conflict_ = true;
                 return false;
             }
             upper_ = nu;
-            // Re-anchor to the pre-walk epoch: any bump <= e whose publish
-            // the walk did not see keeps its var locked until that publish,
-            // so the walk would have failed on the locked word.
-            validated_at_epoch_ = e;
+            reanchor_stripes(fresh);
             stats_->extensions.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
@@ -1542,47 +1626,74 @@ class Transaction {
                        std::memory_order_relaxed)) {
             return rollback(writes.size());  // killed while locking
         }
-        // Bump the commit epoch while every write lock is held and BEFORE
-        // the stamp draw: a reader whose epoch check misses this bump drew
-        // its extension time before our stamp existed, so admission keeps
-        // our versions out; a reader that validates while we still hold a
-        // conflicting lock fails on the locked word. The bump is
-        // unconditional past this point even if validation below aborts --
-        // a spurious bump only costs other readers a walk.
+        // Bump every DISTINCT stripe the write set hashes into while every
+        // write lock is held and BEFORE the stamp draw: a reader whose
+        // stripe check misses a bump drew its extension time before our
+        // stamp existed, so admission keeps our versions out; a reader
+        // that validates while we still hold a conflicting lock fails on
+        // the locked word. The bumps are unconditional past this point
+        // even if validation below aborts -- a spurious bump only costs
+        // other readers of those stripes a walk. For stripes our own read
+        // set also touched, the fetch_add return doubles as a cheap
+        // cleanliness pre-check (a foreign bump since our snapshot shows
+        // up as prev != snap).
         bool epoch_clean = false;
-        if (cfg_.epoch_filter)
-            epoch_clean =
-                epoch_->fetch_add(1, std::memory_order_acq_rel) ==
-                validated_at_epoch_;
+        std::uint64_t wsig = 0;  // stripes this commit bumped
+        if (cfg_.epoch_filter) {
+            epoch_clean = true;
+            const auto& sc = sets_->stripes;
+            for (const auto* rec : writes) {
+                const unsigned s = stripes_->stripe_of(rec->var);
+                const std::uint64_t bit = std::uint64_t{1} << s;
+                if (wsig & bit) continue;
+                wsig |= bit;
+                const std::uint64_t prev =
+                    (*stripes_)[s].fetch_add(1, std::memory_order_acq_rel);
+                if ((sc.sig & bit) && prev != sc.snap[s])
+                    epoch_clean = false;
+            }
+        }
         // Chaos harness: stall in the window the epoch filter's post-draw
         // re-check exists to close.
         (void)CHRONOSTM_FAILPOINT(lsa_commit_pre_stamp);
         std::uint64_t commit_ts = clk_.get_new_ts();
-        // Re-check the epoch AFTER drawing commit_ts: the fetch_add alone
-        // proves the read set clean only up to the bump, but the commit
-        // serializes at commit_ts, drawn later. A writer that bumps in
-        // between may draw a SMALLER stamp (draw order on the shared
-        // counter is not fixed by bump order) and publish into our read
-        // set below commit_ts. Requiring the post-draw load to still show
-        // only our own bump closes that window: a foreign writer whose
-        // counter RMW preceded ours has its bump ordered before this load
-        // (bump -> its draw -> our draw -> this load), so any writer the
-        // load misses drew its stamp after ours -- the same residual
-        // class a post-draw walk admits (a walk cannot see a writer that
-        // locks after it runs). See DESIGN.md "Commit-epoch filter
-        // soundness".
-        if (epoch_clean &&
-            epoch_->load(std::memory_order_acquire) !=
-                validated_at_epoch_ + 1)
-            epoch_clean = false;
+        // Re-check the touched stripes AFTER drawing commit_ts: the bump
+        // loop alone proves the read set clean only up to the bumps, but
+        // the commit serializes at commit_ts, drawn later. A writer that
+        // bumps in between may draw a SMALLER stamp (draw order on the
+        // shared counter is not fixed by bump order) and publish into our
+        // read set below commit_ts. Requiring every read-signature stripe
+        // to read exactly snapshot + (1 if we bumped it ourselves) closes
+        // that window: a foreign writer whose counter RMW preceded ours
+        // has its bump ordered before this load (bump -> its draw -> our
+        // draw -> this load), so any writer the load misses drew its
+        // stamp after ours -- the same residual class a post-draw walk
+        // admits (a walk cannot see a writer that locks after it runs).
+        // See DESIGN.md "Striped epoch soundness".
+        if (epoch_clean) {
+            const auto& sc = sets_->stripes;
+            std::uint64_t sig = sc.sig;
+            while (sig != 0) {
+                const unsigned s =
+                    static_cast<unsigned>(__builtin_ctzll(sig));
+                sig &= sig - 1;
+                const std::uint64_t expect =
+                    sc.snap[s] + ((wsig >> s) & 1u);
+                if ((*stripes_)[s].load(std::memory_order_acquire) !=
+                    expect) {
+                    epoch_clean = false;
+                    break;
+                }
+            }
+        }
 
-        // Commit-time validation: if no other writer committed since this
-        // transaction last validated (epoch unchanged up to our own bump,
-        // re-confirmed after the stamp draw), no read-set word can have
-        // changed -- skip the O(R) walk. Our own locks are covered too:
-        // we could only have locked a read var whose word was still the
-        // one we admitted (the lock CAS saved it in locked_word and
-        // nobody else bumped).
+        // Commit-time validation: if no other writer committed into any
+        // stripe this transaction's read set touched since its snapshots
+        // (stripes unchanged up to our own bumps, re-confirmed after the
+        // stamp draw), no read-set word can have changed -- skip the O(R)
+        // walk. Our own locks are covered too: we could only have locked
+        // a read var whose word was still the one we admitted (the lock
+        // CAS saved it in locked_word and nobody else bumped its stripe).
         bool reads_valid;
         if (irrevocable_) {
             // Token held since before this attempt's first read (or since
@@ -1594,7 +1705,12 @@ class Transaction {
             reads_valid = true;
             stats_->validation_fast_hits.fetch_add(
                 1, std::memory_order_relaxed);
+            stats_->stripe_fast_hits.fetch_add(1,
+                                               std::memory_order_relaxed);
         } else {
+            if (cfg_.epoch_filter)
+                stats_->stripe_walks.fetch_add(1,
+                                               std::memory_order_relaxed);
             reads_valid = sets_->reads.all_of(
                 [this](const detail::ReadSet::Entry& e) {
                     const std::uint64_t cur =
@@ -1702,11 +1818,12 @@ class Transaction {
         (void)CHRONOSTM_FAILPOINT(lsa_commit_pre_unlock);
         // Fence #2: all data stores precede every version publish below
         // ([atomics.fences]: fence-release paired with the readers'
-        // acquire loads of the version word).
+        // acquire loads of the version word). kFencedPublishOrder is
+        // relaxed except under TSan, which cannot model thread fences.
         std::atomic_thread_fence(std::memory_order_release);
         for (std::uint32_t i = 0; i < claimed.size(); ++i)
             writes[claimed[i]]->var->vlock_.store(
-                new_ts << 1, std::memory_order_relaxed);
+                new_ts << 1, kFencedPublishOrder);
         // Wait until every orec is unlocked (a helper may still be midway
         // through a claimed slot) before the write records -- which that
         // helper dereferences -- can be recycled along with the arena.
@@ -1742,14 +1859,13 @@ class Transaction {
     detail::StatsBlock* stats_;
     detail::TxDesc* desc_;
     detail::AccessSets* sets_;
-    std::atomic<std::uint64_t>* epoch_;
+    detail::EpochStripes* stripes_;
     detail::IrrevGate* gate_;
     // Owning context's token flag: true while the context holds the
     // engine-global irrevocability token (it survives aborted attempts,
     // so the retry of a failed escalation reruns irrevocably).
     bool* token_held_;
     bool irrevocable_ = false;
-    std::uint64_t validated_at_epoch_ = 0;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     std::uint64_t upper_cap_ = 0;
@@ -1872,7 +1988,7 @@ class ThreadContext {
     // reports success. Statistics are counted like run() does.
     Transaction txn_begin() {
         return Transaction(clk_, cfg_, cm_, dev_, stats_.get(),
-                               desc_.get(), &sets_, epoch_, gate_,
+                               desc_.get(), &sets_, stripes_, gate_,
                                &token_held_);
     }
 
@@ -1910,7 +2026,7 @@ class ThreadContext {
                   std::uint64_t dev,
                   std::shared_ptr<detail::StatsBlock> stats,
                   std::shared_ptr<detail::TxDesc> desc,
-                  std::atomic<std::uint64_t>* epoch,
+                  detail::EpochStripes* stripes,
                   detail::IrrevGate* gate)
         : clk_(std::move(clk)),
           cfg_(cfg),
@@ -1918,7 +2034,7 @@ class ThreadContext {
           dev_(dev),
           stats_(std::move(stats)),
           desc_(std::move(desc)),
-          epoch_(epoch),
+          stripes_(stripes),
           gate_(gate) {}
 
     Clock clk_;
@@ -1927,7 +2043,7 @@ class ThreadContext {
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
     std::shared_ptr<detail::TxDesc> desc_;
-    std::atomic<std::uint64_t>* epoch_;
+    detail::EpochStripes* stripes_;
     detail::IrrevGate* gate_;
     // True while this context holds the engine-global irrevocability
     // token; survives aborted attempts so a failed escalation retries
@@ -1943,8 +2059,10 @@ class LsaStm {
     explicit LsaStm(tb::TimeBase tbase, StmConfig cfg = StmConfig{})
         : tbase_(std::move(tbase)),
           cfg_(std::move(cfg)),
-          cm_(parse_contention_manager(cfg_.contention_manager)) {
+          cm_(parse_contention_manager(cfg_.contention_manager)),
+          epoch_stripes_(cfg_.filter_stripes) {
         if (cfg_.max_versions == 0) cfg_.max_versions = 1;
+        cfg_.filter_stripes = epoch_stripes_.count();
     }
 
     LsaStm(const LsaStm&) = delete;
@@ -1967,7 +2085,7 @@ class LsaStm {
         // twice that bound.
         return ThreadContext(tbase_.make_thread_clock(), cfg_, cm_,
                                  2 * tbase_.deviation(), std::move(block),
-                                 std::move(desc), &commit_epoch_,
+                                 std::move(desc), &epoch_stripes_,
                                  &irrev_gate_);
     }
 
@@ -1988,6 +2106,8 @@ class LsaStm {
         s.extensions = partial.extensions;
         s.extension_fast_hits = partial.extension_fast_hits;
         s.validation_fast_hits = partial.validation_fast_hits;
+        s.stripe_fast_hits = partial.stripe_fast_hits;
+        s.stripe_walks = partial.stripe_walks;
         s.ro_commits = partial.ro_commits;
         s.backoff_us = partial.backoff_us;
         s.irrevocable_commits = partial.irrevocable_commits;
@@ -1998,11 +2118,18 @@ class LsaStm {
         return s;
     }
 
-    // Engine-global commit epoch: one bump per writer commit attempt that
-    // reached the stamp draw. Exposed for tests and instrumentation.
-    const std::atomic<std::uint64_t>& commit_epoch() const {
-        return commit_epoch_;
+    // Total epoch bumps across all stripes: one per DISTINCT stripe a
+    // writer commit's write set touched, at the point it reached the
+    // stamp draw. With filter_stripes=1 this is the PR 7 engine-global
+    // commit-epoch word. Exposed for tests and instrumentation.
+    std::uint64_t commit_epoch() const { return epoch_stripes_.sum(); }
+
+    // Which stripe covers an address -- lets tests and benches construct
+    // provably aliased or provably disjoint footprints.
+    unsigned filter_stripe_of(const void* p) const {
+        return epoch_stripes_.stripe_of(p);
     }
+    unsigned filter_stripes() const { return epoch_stripes_.count(); }
 
     const StmConfig& config() const { return cfg_; }
     CmPolicy contention_policy() const { return cm_; }
@@ -2018,9 +2145,11 @@ class LsaStm {
     tb::TimeBase tbase_;
     StmConfig cfg_;
     CmPolicy cm_;
-    // Own cache line: bumped by every writer commit, loaded on every
-    // transaction begin and every filtered validation.
-    alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
+    // Cache-line-padded epoch stripes: a writer commit bumps only the
+    // stripes its write set hashes into; readers load only the stripes
+    // their read set touched. filter_stripes=1 degenerates to the old
+    // single commit-epoch word.
+    detail::EpochStripes epoch_stripes_;
     // Irrevocability gate (token bit + in-flight update-commit count);
     // own cache line, touched twice per update commit.
     alignas(64) detail::IrrevGate irrev_gate_;

@@ -65,6 +65,7 @@
 #include <type_traits>
 #include <vector>
 
+#include <chronostm/core/epoch_stripes.hpp>
 #include <chronostm/core/lsa_stm.hpp>
 #include <chronostm/stm/config.hpp>
 #include <chronostm/timebase/facade.hpp>
@@ -290,11 +291,15 @@ struct OrecAccessSets {
     FlatVec<OrecWriteRec> writes;
     PtrIndex write_index;  // granule addr -> index into writes (pre-sort)
     PtrIndex owned;        // orec -> owner-record index (commit phase only)
+    // Striped epoch-filter state for the in-flight attempt (the read-set
+    // stripe signature plus first-touch snapshots; core/epoch_stripes.hpp).
+    StripeScratch stripes;
 
     void reset() {
         reads.clear();
         writes.clear();
         write_index.clear();
+        stripes.reset();
     }
 };
 
@@ -397,19 +402,19 @@ class OrecTransaction {
                     std::uint64_t dev, detail::StatsBlock* stats,
                     detail::OrecAccessSets* sets,
                     detail::RecentStamps* recent,
-                    std::atomic<std::uint64_t>* epoch,
+                    detail::EpochStripes* stripes,
                     detail::IrrevGate* gate, bool* token_held)
         : clk_(clk), cfg_(cfg), stm_(stm), dev_(dev), stats_(stats),
-          sets_(sets), recent_(recent), epoch_(epoch), gate_(gate),
+          sets_(sets), recent_(recent), stripes_(stripes), gate_(gate),
           token_held_(token_held), irrevocable_(*token_held) {
         sets_->reset();
         cache_table();
         CHRONOSTM_FP_SINK(&stats_->injected_faults);
-        // Epoch before time: a writer that commits between these two loads
-        // shows up as an epoch mismatch (false negative), never as a stale
-        // fast hit.
-        if (cfg_.epoch_filter)
-            validated_at_epoch_ = epoch_->load(std::memory_order_acquire);
+        // Per-stripe epoch snapshots are taken lazily at the stripe's
+        // first touch, always BEFORE the covered granule's orec-word load
+        // (touch_stripe in load_validated): a writer that publishes into
+        // the stripe after the snapshot shows up as a stripe mismatch
+        // (false negative, walk runs), never as a stale fast hit.
         upper_ = clk_.get_time();
     }
 
@@ -492,12 +497,64 @@ class OrecTransaction {
 
     // --- snapshot maintenance ------------------------------------------
 
+    // Record granule `p`'s stripe in the attempt's signature, snapshotting
+    // the stripe epoch at first touch. Must run BEFORE the orec-word load
+    // that admits the read: writers bump their stripes before unlocking,
+    // so any commit that could invalidate the admitted read lands as a
+    // snapshot mismatch (spurious walk at worst, never a stale fast hit).
+    void touch_stripe(const void* p) {
+        auto& sc = sets_->stripes;
+        const unsigned s = stripes_->stripe_of(p);
+        const std::uint64_t bit = std::uint64_t{1} << s;
+        if (!(sc.sig & bit)) {
+            sc.snap[s] = (*stripes_)[s].load(std::memory_order_acquire);
+            sc.sig |= bit;
+        }
+    }
+
+    // Compare every touched stripe against its snapshot, recording the
+    // fresh values in `fresh` (indexed by stripe id). Snapshots are NOT
+    // updated here: re-anchoring is only sound after a SUCCESSFUL walk
+    // (reanchor_stripes), because a failed walk proves a conflicting
+    // writer hit the read set and absorbing its bump would let a later
+    // extension fast-hit past the very commit the walk just caught (the
+    // TVar core's old-version fallback makes that reachable; here every
+    // failed extension aborts, but the invariant is kept identical).
+    bool stripes_clean(std::uint64_t* fresh) {
+        auto& sc = sets_->stripes;
+        bool clean = true;
+        std::uint64_t sig = sc.sig;
+        while (sig != 0) {
+            const unsigned s = static_cast<unsigned>(__builtin_ctzll(sig));
+            sig &= sig - 1;
+            const std::uint64_t e =
+                (*stripes_)[s].load(std::memory_order_acquire);
+            fresh[s] = e;
+            if (e != sc.snap[s]) clean = false;
+        }
+        return clean;
+    }
+
+    // Move the stripe snapshots to the pre-walk values captured by
+    // stripes_clean(); call only after a successful walk (a bump <=
+    // fresh[s] whose publish the walk missed keeps its orec locked, so
+    // the walk would have failed on the locked word).
+    void reanchor_stripes(const std::uint64_t* fresh) {
+        auto& sc = sets_->stripes;
+        std::uint64_t sig = sc.sig;
+        while (sig != 0) {
+            const unsigned s = static_cast<unsigned>(__builtin_ctzll(sig));
+            sig &= sig - 1;
+            sc.snap[s] = fresh[s];
+        }
+    }
+
     // Move `upper` to the present if every orec read so far is unchanged
     // (a changed or locked word means extension would break consistency).
-    // The commit-epoch filter short-circuits the O(R) walk exactly as in
-    // the TVar core's try_extend -- `nu` drawn before the epoch load, and
-    // on the walk path a re-anchor to the pre-walk epoch. See DESIGN.md
-    // "Commit-epoch filter soundness".
+    // The striped commit-epoch filter short-circuits the O(R) walk exactly
+    // as in the TVar core's try_extend -- `nu` drawn before the stripe
+    // loads, and on the walk path a re-anchor to the pre-walk stripe
+    // epochs. See DESIGN.md "Striped epoch soundness".
     // Failure reason lands in extend_conflict_: false = time has not
     // advanced past upper_ (freshness), true = the read-set walk found a
     // changed or locked orec (conflict -- backoff resolves it; see the
@@ -507,20 +564,23 @@ class OrecTransaction {
         const std::uint64_t nu = clk_.get_time();
         if (nu <= upper_) return false;
         if (cfg_.epoch_filter) {
-            const std::uint64_t e = epoch_->load(std::memory_order_acquire);
-            if (e == validated_at_epoch_) {
+            std::uint64_t fresh[detail::EpochStripes::kMaxStripes];
+            if (stripes_clean(fresh)) {
                 upper_ = nu;
                 stats_->extensions.fetch_add(1, std::memory_order_relaxed);
                 stats_->extension_fast_hits.fetch_add(
                     1, std::memory_order_relaxed);
+                stats_->stripe_fast_hits.fetch_add(
+                    1, std::memory_order_relaxed);
                 return true;
             }
+            stats_->stripe_walks.fetch_add(1, std::memory_order_relaxed);
             if (!walk_read_set()) {
                 extend_conflict_ = true;
                 return false;
             }
             upper_ = nu;
-            validated_at_epoch_ = e;
+            reanchor_stripes(fresh);
             stats_->extensions.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
@@ -604,7 +664,7 @@ class OrecTransaction {
     detail::StatsBlock* stats_;
     detail::OrecAccessSets* sets_;
     detail::RecentStamps* recent_;
-    std::atomic<std::uint64_t>* epoch_;
+    detail::EpochStripes* stripes_;
     detail::IrrevGate* gate_;
     // Owning context's token flag: true while the context holds the
     // engine-global irrevocability token (it survives aborted attempts,
@@ -614,7 +674,6 @@ class OrecTransaction {
     // Cached from stm_ at begin (immutable for the STM's lifetime).
     std::atomic<std::uint64_t>* tbl_ = nullptr;
     std::size_t tmask_ = 0;
-    std::uint64_t validated_at_epoch_ = 0;
     std::uint64_t lower_ = 0;
     std::uint64_t upper_ = 0;
     bool writes_sorted_ = false;
@@ -709,7 +768,7 @@ class OrecThreadContext {
 
     OrecTransaction txn_begin() {
         return OrecTransaction(clk_, cfg_, stm_, dev_, stats_.get(),
-                               &sets_, &recent_, epoch_, gate_,
+                               &sets_, &recent_, stripes_, gate_,
                                &token_held_);
     }
 
@@ -744,17 +803,17 @@ class OrecThreadContext {
     OrecThreadContext(Clock clk, const OrecConfig& cfg, OrecStm* stm,
                       std::uint64_t dev,
                       std::shared_ptr<detail::StatsBlock> stats,
-                      std::atomic<std::uint64_t>* epoch,
+                      detail::EpochStripes* stripes,
                       detail::IrrevGate* gate)
         : clk_(std::move(clk)), cfg_(cfg), stm_(stm), dev_(dev),
-          stats_(std::move(stats)), epoch_(epoch), gate_(gate) {}
+          stats_(std::move(stats)), stripes_(stripes), gate_(gate) {}
 
     Clock clk_;
     OrecConfig cfg_;
     OrecStm* stm_;
     std::uint64_t dev_;
     std::shared_ptr<detail::StatsBlock> stats_;
-    std::atomic<std::uint64_t>* epoch_;
+    detail::EpochStripes* stripes_;
     detail::IrrevGate* gate_;
     // True while this context holds the engine-global irrevocability
     // token; survives aborted attempts so a failed escalation retries
@@ -776,6 +835,26 @@ class OrecStm {
         mask_ = n - 1;
         // Value-initialized: every orec starts unlocked at version 0.
         table_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+        // Epoch stripes use the SAME shift+mask granule hash family as
+        // the orec table, with the stripe index being the TOP bits of the
+        // orec index: shift = kOrecShift + table_bits - log2(stripes), so
+        // one stripe covers a contiguous orec-table range and granules
+        // aliasing to one orec always share a stripe (the read path
+        // relies on that to skip re-touching on dedup hits). Stripe count
+        // is capped at the table size so the shift never drops below
+        // kOrecShift.
+        unsigned want = cfg_.filter_stripes;
+        const unsigned cap =
+            cfg_.table_bits < 6
+                ? (1u << cfg_.table_bits)
+                : detail::EpochStripes::kMaxStripes;
+        unsigned count = 1;
+        while (count < want && count < cap) count <<= 1;
+        unsigned lg = 0;
+        while ((1u << lg) < count) ++lg;
+        epoch_stripes_ = detail::EpochStripes(
+            count, kOrecShift + cfg_.table_bits - lg);
+        cfg_.filter_stripes = epoch_stripes_.count();
     }
 
     OrecStm(const OrecStm&) = delete;
@@ -800,7 +879,7 @@ class OrecStm {
         // snapshot's stamp may deviate by the published bound.
         return OrecThreadContext(tbase_.make_thread_clock(), cfg_, this,
                                  2 * tbase_.deviation(), std::move(block),
-                                 &commit_epoch_, &irrev_gate_);
+                                 &epoch_stripes_, &irrev_gate_);
     }
 
     TxStats collected_stats() const {
@@ -817,6 +896,8 @@ class OrecStm {
         s.extensions = partial.extensions;
         s.extension_fast_hits = partial.extension_fast_hits;
         s.validation_fast_hits = partial.validation_fast_hits;
+        s.stripe_fast_hits = partial.stripe_fast_hits;
+        s.stripe_walks = partial.stripe_walks;
         s.ro_commits = partial.ro_commits;
         s.backoff_us = partial.backoff_us;
         s.irrevocable_commits = partial.irrevocable_commits;
@@ -827,11 +908,19 @@ class OrecStm {
         return s;
     }
 
-    // Engine-global commit epoch: one bump per writer commit attempt that
-    // reached the stamp draw. Exposed for tests and instrumentation.
-    const std::atomic<std::uint64_t>& commit_epoch() const {
-        return commit_epoch_;
+    // Total epoch bumps across all stripes: with filter_stripes=1, one
+    // bump per writer commit attempt that reached the stamp draw (the
+    // PR 7 counter); with more stripes, one bump per distinct stripe each
+    // such attempt's write set covered. Exposed for tests and
+    // instrumentation.
+    std::uint64_t commit_epoch() const { return epoch_stripes_.sum(); }
+
+    // Stripe geometry, exposed so tests and benches can place granules
+    // in (or out of) a given stripe deliberately.
+    unsigned filter_stripe_of(const void* p) const {
+        return epoch_stripes_.stripe_of(p);
     }
+    unsigned filter_stripes() const { return epoch_stripes_.count(); }
 
     const OrecConfig& config() const { return cfg_; }
     std::size_t table_size() const { return mask_ + 1; }
@@ -850,9 +939,10 @@ class OrecStm {
     OrecConfig cfg_;
     std::size_t mask_ = 0;
     std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
-    // Own cache line: bumped by every writer commit, loaded on every
-    // transaction begin and every filtered validation.
-    alignas(64) std::atomic<std::uint64_t> commit_epoch_{0};
+    // Cache-line-padded epoch stripes: a writer commit bumps only the
+    // stripes its write set hashes into; filtered validation compares
+    // only the stripes the read set touched.
+    detail::EpochStripes epoch_stripes_;
     // Irrevocability gate (token bit + in-flight update-commit count);
     // own cache line, touched twice per update commit.
     alignas(64) detail::IrrevGate irrev_gate_;
@@ -899,6 +989,11 @@ inline std::uint64_t OrecTransaction::load_validated(const void* gran) {
     // the admitted word; a miss leaves the landing slot staged so
     // admission below is one store.
     auto* dup = sets_->reads.find_or_stage(o);
+    // Stripe snapshot BEFORE the admitting orec-word load. The stripe
+    // bits are the top bits of the orec index (OrecStm picks the shift),
+    // so granules aliasing to one orec share a stripe -- a dup hit means
+    // the stripe was already touched at the first admission.
+    if (cfg_.epoch_filter && dup == nullptr) touch_stripe(gran);
     for (;;) {
         std::uint64_t w1 = o->load(std::memory_order_acquire);
         if (__builtin_expect(w1 & 1u, 0)) {
@@ -1065,17 +1160,30 @@ inline bool OrecTransaction::commit() {
     // last orec lock, before anything is published.
     (void)CHRONOSTM_FAILPOINT(orec_commit_post_lock);
 
-    // Bump the commit epoch while every orec lock is held and BEFORE the
-    // stamp draw: a reader whose epoch check misses this bump drew its
-    // extension time before our stamp existed, so the deviation-aware
-    // admission rule keeps these versions out; a reader that validates
-    // while we still hold a conflicting lock fails on the locked word. A
-    // spurious bump from an attempt that aborts below only costs other
-    // readers a walk.
+    // Bump the epoch stripes this write set covers (one bump per DISTINCT
+    // stripe) while every orec lock is held and BEFORE the stamp draw: a
+    // reader whose stripe check misses a bump drew its extension time
+    // before our stamp existed, so the deviation-aware admission rule
+    // keeps these versions out; a reader that validates while we still
+    // hold a conflicting lock fails on the locked word. A spurious bump
+    // from an attempt that aborts below only costs other readers a walk.
+    // The fetch_add return doubles as this commit's own pre-check for
+    // stripes its read set shares with its write set.
     bool epoch_clean = false;
-    if (cfg_.epoch_filter)
-        epoch_clean = epoch_->fetch_add(1, std::memory_order_acq_rel) ==
-                      validated_at_epoch_;
+    std::uint64_t wsig = 0;  // stripes this commit bumped
+    if (cfg_.epoch_filter) {
+        epoch_clean = true;
+        const auto& sc = sets_->stripes;
+        for (const auto& rec : ws) {
+            const unsigned s = stripes_->stripe_of(rec.gran);
+            const std::uint64_t bit = std::uint64_t{1} << s;
+            if (wsig & bit) continue;
+            wsig |= bit;
+            const std::uint64_t prev =
+                (*stripes_)[s].fetch_add(1, std::memory_order_acq_rel);
+            if ((sc.sig & bit) && prev != sc.snap[s]) epoch_clean = false;
+        }
+    }
 
     // Chaos harness: stall in the window the epoch filter's post-draw
     // re-check exists to close.
@@ -1088,23 +1196,36 @@ inline bool OrecTransaction::commit() {
     // carry it, so recording a stamp of a failed commit is inert.
     std::uint64_t commit_ts = clk_.get_new_ts();
     recent_->push(commit_ts);
-    // Re-check the epoch AFTER drawing commit_ts: the fetch_add proves
-    // the read set clean only up to the bump, but the commit serializes
-    // at commit_ts, drawn later. A writer bumping in between may draw a
-    // SMALLER stamp and publish into our read set below commit_ts; the
-    // post-draw load must still show only our own bump. A writer it
-    // misses drew after us (its counter RMW following ours orders its
-    // bump before this load) -- the same residual class a post-draw walk
-    // admits. See DESIGN.md "Commit-epoch filter soundness".
-    if (epoch_clean && epoch_->load(std::memory_order_acquire) !=
-                           validated_at_epoch_ + 1)
-        epoch_clean = false;
+    // Re-check every READ stripe AFTER drawing commit_ts: the fetch_adds
+    // prove the read set clean only up to the bumps, but the commit
+    // serializes at commit_ts, drawn later. A writer bumping in between
+    // may draw a SMALLER stamp and publish into our read set below
+    // commit_ts; each read stripe's post-draw load must still show only
+    // our own bump (if any). A writer it misses drew after us (its
+    // counter RMW following ours on the shared stripe orders its bump
+    // before this load) -- the same residual class a post-draw walk
+    // admits. See DESIGN.md "Striped epoch soundness".
+    if (epoch_clean) {
+        const auto& sc = sets_->stripes;
+        std::uint64_t sig = sc.sig;
+        while (sig != 0) {
+            const unsigned s = static_cast<unsigned>(__builtin_ctzll(sig));
+            sig &= sig - 1;
+            const std::uint64_t expect =
+                sc.snap[s] + ((wsig >> s) & 1u);
+            if ((*stripes_)[s].load(std::memory_order_acquire) != expect) {
+                epoch_clean = false;
+                break;
+            }
+        }
+    }
 
-    // Commit-time validation: epoch unchanged up to our own bump
-    // (re-confirmed after the stamp draw) means no other writer committed
-    // since this transaction last validated, so no read-set word can have
-    // changed (own locks included: we could only have locked an orec
-    // whose word was still the admitted one).
+    // Commit-time validation: every read stripe unchanged up to our own
+    // bump (re-confirmed after the stamp draw) means no other writer
+    // committed into any stripe the read set covers since this
+    // transaction last validated, so no read-set word can have changed
+    // (own locks included: we could only have locked an orec whose word
+    // was still the admitted one).
     bool reads_valid;
     if (irrevocable_) {
         // Token held since before this attempt's first read (or since a
@@ -1115,7 +1236,10 @@ inline bool OrecTransaction::commit() {
     } else if (epoch_clean) {
         reads_valid = true;
         stats_->validation_fast_hits.fetch_add(1, std::memory_order_relaxed);
+        stats_->stripe_fast_hits.fetch_add(1, std::memory_order_relaxed);
     } else {
+        if (cfg_.epoch_filter)
+            stats_->stripe_walks.fetch_add(1, std::memory_order_relaxed);
         reads_valid = sets_->reads.all_of(
             [&](const detail::OrecReadSet::Entry& e) {
                 const std::uint64_t cur =
@@ -1194,11 +1318,12 @@ inline bool OrecTransaction::commit() {
         // set, then relaxed stores -- each orec published exactly once
         // (owner records). Readers' acquire loads of the orec synchronize
         // with the fence ([atomics.fences]), so data stays visible before
-        // the version that admits it.
+        // the version that admits it. kFencedPublishOrder upgrades the
+        // stores to release under TSan, which cannot model thread fences.
         std::atomic_thread_fence(std::memory_order_release);
         for (const auto& rec : ws)
             if (rec.owner)
-                rec.orec->store(new_ts << 1, std::memory_order_relaxed);
+                rec.orec->store(new_ts << 1, kFencedPublishOrder);
     } else {
         // Pre-batching publish sequence (per-orec release stores), kept
         // selectable so the bench can pin batched against unbatched.

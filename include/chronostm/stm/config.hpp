@@ -40,11 +40,19 @@ struct CommonConfig {
     // which run() escalates the transaction to irrevocable serial mode.
     // 0 disables escalation (retry exhaustion then throws RetryExhausted).
     unsigned irrevocable_threshold = 64;
-    // Commit-epoch validation filter: writers bump one engine-global epoch
-    // word while holding their write locks; readers whose epoch snapshot
-    // is unchanged skip the O(R) read-set walk in try_extend() and at
-    // commit. Off forces the full walk every time (bench twin/debugging).
+    // Commit-epoch validation filter: writers bump epoch words while
+    // holding their write locks; readers whose epoch snapshot is unchanged
+    // skip the O(R) read-set walk in try_extend() and at commit. Off
+    // forces the full walk every time (bench twin/debugging).
     bool epoch_filter = true;
+    // Number of cache-line-padded epoch stripes the filter is sharded
+    // over. Writers bump only the stripes their write set hashes into and
+    // readers compare only the stripes their read set touched, so a
+    // writer in an unrelated address range no longer kills the fast hit.
+    // Rounded up to a power of two, clamped to [1, 64] (the per-txn
+    // signature is one 64-bit bitmap); 1 reproduces the single-word
+    // filter of the pre-striping engines.
+    unsigned filter_stripes = 64;
 };
 
 }  // namespace stm

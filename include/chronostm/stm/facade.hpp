@@ -496,8 +496,8 @@ inline std::string engine_spec_help() {
         s += k.example;
         s += "; ";
     }
-    s += "common keys spin=,retries=,irrev=,filter=,ext=,stallspin=,";
-    s += "stallts=; comma-separated for multi-series drivers";
+    s += "common keys spin=,retries=,irrev=,filter=,stripes=,ext=,";
+    s += "stallspin=,stallts=; comma-separated for multi-series drivers";
     return s;
 }
 
@@ -527,11 +527,13 @@ inline void apply_common(const tb::TimeBaseSpec& s, CommonConfig& c) {
     c.irrevocable_threshold =
         static_cast<unsigned>(s.u64("irrev", c.irrevocable_threshold));
     c.epoch_filter = flag(s, "filter", c.epoch_filter);
+    c.filter_stripes =
+        static_cast<unsigned>(s.u64("stripes", c.filter_stripes));
 }
 
 constexpr const char* kCommonKeys[] = {"ext",     "spin",  "stallspin",
                                        "stallts", "retries", "irrev",
-                                       "filter"};
+                                       "filter",  "stripes"};
 
 inline void require_engine_keys(const tb::TimeBaseSpec& s,
                                 std::initializer_list<const char*> extra) {

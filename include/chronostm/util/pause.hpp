@@ -6,7 +6,30 @@
 #include <cstdint>
 #include <thread>
 
+// ThreadSanitizer does not model std::atomic_thread_fence: a relaxed store
+// published behind a release fence is correct per [atomics.fences] but
+// invisible to the tool, which then reports the data stores ahead of the
+// fence as racing with readers admitted by the publish. Under TSan only,
+// such publishes are strengthened to release -- a pure strengthening that
+// restores the synchronizes-with edge in the tool's model without changing
+// the non-instrumented build.
+#if defined(__SANITIZE_THREAD__)
+#define CHRONOSTM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CHRONOSTM_TSAN 1
+#endif
+#endif
+
 namespace chronostm {
+
+#ifdef CHRONOSTM_TSAN
+inline constexpr std::memory_order kFencedPublishOrder =
+    std::memory_order_release;
+#else
+inline constexpr std::memory_order kFencedPublishOrder =
+    std::memory_order_relaxed;
+#endif
 
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)

@@ -109,6 +109,41 @@ inline bool epoch_filter_enabled(const Cli& cli) {
         "unknown --epoch-filter '" + v + "' (expected: on, off)");
 }
 
+// Epoch-filter stripe count, uniform across drivers that expose it:
+// --filter-stripes= maps onto stm::CommonConfig::filter_stripes (rounded
+// up to a power of two, clamped to [1, 64] by the engines; 1 reproduces
+// the single-word filter). Comma-separated for sweep drivers.
+inline Cli& flag_filter_stripes(Cli& cli, const std::string& def = "64") {
+    return cli.flag_str(
+        "filter-stripes", def,
+        "epoch-filter stripe count(s), power of two in [1,64]; 1 = "
+        "single-word filter (comma-separated for sweeps)");
+}
+
+inline std::vector<unsigned> filter_stripes_flag(const Cli& cli) {
+    std::vector<unsigned> out;
+    std::string cur;
+    const std::string& raw = cli.str("filter-stripes");
+    for (std::size_t i = 0; i <= raw.size(); ++i) {
+        if (i == raw.size() || raw[i] == ',') {
+            if (!cur.empty()) {
+                const long v = std::stol(cur);
+                if (v < 1 || v > 64)
+                    throw std::invalid_argument(
+                        "--filter-stripes wants values in [1,64], got '" +
+                        cur + "'");
+                out.push_back(static_cast<unsigned>(v));
+                cur.clear();
+            }
+        } else {
+            cur += raw[i];
+        }
+    }
+    if (out.empty())
+        throw std::invalid_argument("--filter-stripes needs a value");
+    return out;
+}
+
 // Degradation-ladder knob, uniform across engine drivers:
 // --irrevocable-threshold= maps onto StmConfig::irrevocable_threshold /
 // OrecConfig::irrevocable_threshold (consecutive aborts before run()
@@ -151,6 +186,8 @@ inline Json& tx_stats_json(Json& json, const Stats& s) {
         .kv("extensions", s.extensions)
         .kv("extension_fast_hits", s.extension_fast_hits)
         .kv("validation_fast_hits", s.validation_fast_hits)
+        .kv("stripe_fast_hits", s.stripe_fast_hits)
+        .kv("stripe_walks", s.stripe_walks)
         .kv("ro_commits", s.ro_commits)
         .kv("backoff_us", s.backoff_us)
         .kv("irrevocable_commits", s.irrevocable_commits)
@@ -169,12 +206,71 @@ struct RunSpec {
     bool pin_threads = true;   // best-effort CPU pinning (Linux)
 };
 
+// Fixed log2-bucket latency histogram: bucket b holds samples whose
+// nanosecond value has bit width b (i.e. ns in [2^(b-1), 2^b - 1]), so
+// recording is a count-leading-zeros plus one increment -- no allocation
+// and no data-dependent branches on the measured path. Percentiles are
+// resolved to the bucket's upper bound, an at-most-2x overestimate,
+// which is the right bias for latency SLO gates.
+struct LatencyHistogram {
+    static constexpr unsigned kBuckets = 64;
+    std::uint64_t count[kBuckets] = {};
+    std::uint64_t total = 0;
+
+    void record(std::uint64_t ns) {
+        unsigned b =
+            ns == 0 ? 0
+                    : 64u - static_cast<unsigned>(__builtin_clzll(ns));
+        if (b >= kBuckets) b = kBuckets - 1;
+        ++count[b];
+        ++total;
+    }
+
+    void merge(const LatencyHistogram& o) {
+        for (unsigned b = 0; b < kBuckets; ++b) count[b] += o.count[b];
+        total += o.total;
+    }
+
+    // Smallest bucket upper bound covering fraction `p` of the samples
+    // (p in [0,1]); 0 when no samples were recorded.
+    std::uint64_t percentile(double p) const {
+        if (total == 0) return 0;
+        std::uint64_t target =
+            static_cast<std::uint64_t>(p * static_cast<double>(total));
+        if (target >= total) target = total - 1;
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            seen += count[b];
+            if (seen > target)
+                return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+        }
+        return ~std::uint64_t{0};
+    }
+};
+
 struct RunResult {
     std::vector<std::uint64_t> per_thread;  // measured ops per worker
     std::uint64_t total_ops = 0;
     double seconds = 0;        // actual measured-window length
     double mops_per_sec = 0;   // total_ops / seconds / 1e6
+    // Per-operation latency over the measured window, merged across
+    // workers, with the canonical percentiles pre-resolved.
+    LatencyHistogram latency;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
 };
+
+// Emit the per-txn latency keys every driver appends to its --json rows.
+// Duck-typed on R so drivers can pass either the RunResult itself or their
+// own per-cell structs that copied the three percentiles out of one.
+template <typename Json, typename R>
+inline Json& latency_json(Json& json, const R& r) {
+    json.kv("p50_ns", r.p50_ns)
+        .kv("p99_ns", r.p99_ns)
+        .kv("p999_ns", r.p999_ns);
+    return json;
+}
 
 // make_op(tid) must return a callable executed in a tight loop; whatever
 // state it needs (context, rng) should live in the closure. Phases are
@@ -187,6 +283,7 @@ RunResult run_throughput(const RunSpec& spec, Factory&& make_op) {
 
     const unsigned n = spec.threads == 0 ? 1 : spec.threads;
     std::vector<std::uint64_t> counts(n, 0);
+    std::vector<LatencyHistogram> hists(n);
     std::vector<std::thread> workers;
     workers.reserve(n);
 
@@ -194,17 +291,31 @@ RunResult run_throughput(const RunSpec& spec, Factory&& make_op) {
         workers.emplace_back([&, tid] {
             if (spec.pin_threads) pin_to_cpu(tid);
             auto op = make_op(tid);
+            LatencyHistogram hist;
             ready.fetch_add(1, std::memory_order_acq_rel);
             while (phase.load(std::memory_order_acquire) == kSetup)
                 std::this_thread::yield();
             std::uint64_t measured = 0;
+            // One clock read per op: each iteration's end timestamp is
+            // the next one's start, so per-op latency costs a single
+            // steady_clock::now() and a log2-bucket increment.
+            auto t_prev = std::chrono::steady_clock::now();
             for (;;) {
                 const int p = phase.load(std::memory_order_relaxed);
                 if (p == kStop) break;
                 op();
-                if (p == kMeasure) ++measured;
+                const auto t_now = std::chrono::steady_clock::now();
+                if (p == kMeasure) {
+                    ++measured;
+                    hist.record(static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            t_now - t_prev)
+                            .count()));
+                }
+                t_prev = t_now;
             }
             counts[tid] = measured;
+            hists[tid] = hist;
         });
     }
 
@@ -231,6 +342,10 @@ RunResult run_throughput(const RunSpec& spec, Factory&& make_op) {
     if (res.seconds > 0)
         res.mops_per_sec =
             static_cast<double>(res.total_ops) / res.seconds / 1e6;
+    for (const auto& h : hists) res.latency.merge(h);
+    res.p50_ns = res.latency.percentile(0.50);
+    res.p99_ns = res.latency.percentile(0.99);
+    res.p999_ns = res.latency.percentile(0.999);
     return res;
 }
 

@@ -56,6 +56,14 @@ BM_Orec_Update_NoBatch/100 (default 1.05): batched write-back (one fence
 for the whole write set) must not lose more than noise to the per-orec
 release-store publish it replaced.
 
+A fourth same-run gate covers the striped filter (PR 10). --stripe-gate
+pairs every BM_<X>_Stripe1 row with its striped twin BM_<X> (strip
+"_Stripe1") and requires the 64-stripe configuration to speed the R=8192
+disjoint-writer extension rows up by at least the given factor (default
+2.0): those rows run a background writer committing OUTSIDE the reader's
+read set, the exact shape where a single epoch word degrades to the O(R)
+walk on every extension while the striped filter keeps the O(1) fast path.
+
 In addition to the cross-run regression gate, --facade-tolerance gates the
 time-base facade's dispatch overhead WITHIN the current run: every
 BM_Facade_<X> row is paired with its direct-template twin BM_<X> from the
@@ -175,6 +183,16 @@ def main():
                          "twin on the R=8192 rows in the SAME run "
                          "(default: 2.0 -- the O(1) epoch check vs the "
                          "O(R) walk)")
+    ap.add_argument("--stripe-gate", type=float, default=2.0,
+                    help="fail when a striped disjoint-writer extension row "
+                         "is not at least this many times faster than its "
+                         "_Stripe1 twin on the R=8192 rows in the SAME run "
+                         "(default: 2.0). With one epoch word, an unrelated "
+                         "writer's bump forces the O(R) walk on every "
+                         "extension; with 64 range-hashed stripes the "
+                         "writer's stripe stays outside the reader's "
+                         "signature and the extension stays O(stripes "
+                         "touched)")
     ap.add_argument("--ro-margin", type=float, default=1.0,
                     help="fail when BM_ReadOnly_Commit_<E> exceeds this "
                          "ratio of BM_Update_Commit_<E> in the SAME run "
@@ -395,6 +413,36 @@ def main():
                 regressions += 1
             compared += 1
             print(f"  {name:<44} {on:>10.2f} {off:>10.2f} "
+                  f"{speedup:>7.2f}x  {verdict}")
+
+        # Stripe gate: same-run BM_<X>_Stripe1 vs BM_<X> pairs. The
+        # disjoint-writer rows are the shape the striping exists for: a
+        # background writer outside the read set defeats the single-word
+        # filter but not the striped one. Gated at /8192 like the epoch
+        # gate; smaller-R rows (if any) are reported for context.
+        stripe_pairs = sorted(
+            n for n in cur
+            if "_Stripe1" in n and n.replace("_Stripe1", "") in cur)
+        if stripe_pairs:
+            print(f"\n{driver} striped vs single-word epoch filter "
+                  f"(speedup >= {args.stripe_gate:g}x at /8192, same run):")
+            print(f"  {'benchmark':<44} {'striped ns':>10} "
+                  f"{'stripe1 ns':>10} {'speedup':>8}")
+        for name in stripe_pairs:
+            striped = cur[name.replace("_Stripe1", "")]
+            one = cur[name]
+            if striped <= 0:
+                continue
+            speedup = one / striped
+            if not name.endswith("/8192"):
+                print(f"  {name:<44} {striped:>10.2f} {one:>10.2f} "
+                      f"{speedup:>7.2f}x  reported (gate is /8192 only)")
+                continue
+            verdict = ("REGRESSION" if speedup < args.stripe_gate else "ok")
+            if verdict != "ok":
+                regressions += 1
+            compared += 1
+            print(f"  {name:<44} {striped:>10.2f} {one:>10.2f} "
                   f"{speedup:>7.2f}x  {verdict}")
 
         # Read-only commit gate: no stamp, no locks -> must not cost more

@@ -87,7 +87,8 @@ Cfg chaos_cfg(Cfg cfg) {
 // auditor; completion of every operation with zero RetryExhausted throws
 // IS the progress assertion, conservation the serializability one.
 template <typename A, typename Cfg>
-void chaos_bank_cell(const std::string& spec, Cfg cfg) {
+void chaos_bank_cell(const std::string& label, const std::string& spec,
+                     Cfg cfg) {
     constexpr unsigned kThreads = 3;
     constexpr int kAccounts = 8;
     constexpr long kInitial = 100;
@@ -144,12 +145,12 @@ void chaos_bank_cell(const std::string& spec, Cfg cfg) {
 
     CHECK_MSG(retry_exhausted.load() == 0,
               "%s: %d RetryExhausted throws with the ladder enabled",
-              spec.c_str(), retry_exhausted.load());
-    CHECK_MSG(torn_audits.load() == 0, "%s: %d torn audits", spec.c_str(),
+              label.c_str(), retry_exhausted.load());
+    CHECK_MSG(torn_audits.load() == 0, "%s: %d torn audits", label.c_str(),
               torn_audits.load());
     long total = 0;
     for (const auto& a : acct) total += a->unsafe_peek();
-    CHECK_MSG(total == kInitial * kAccounts, "%s: total %ld", spec.c_str(),
+    CHECK_MSG(total == kInitial * kAccounts, "%s: total %ld", label.c_str(),
               total);
     const auto st = adapter.collected_stats();
     CHECK(st.commits() >= kThreads * kOps);  // every transfer landed
@@ -160,7 +161,8 @@ void chaos_bank_cell(const std::string& spec, Cfg cfg) {
 // checker snapshots, the new copy must not precede the previously
 // observed x. LSA runs single-version so the oracle stays decisive.
 template <typename A, typename Cfg>
-void chaos_copier_cell(const std::string& spec, Cfg cfg) {
+void chaos_copier_cell(const std::string& label, const std::string& spec,
+                       Cfg cfg) {
     constexpr int kOps = 600;
     A adapter(tb::make(spec), chaos_cfg(cfg));
     alignas(64) typename A::template Var<long> x(0);
@@ -222,9 +224,9 @@ void chaos_copier_cell(const std::string& spec, Cfg cfg) {
 
     CHECK_MSG(retry_exhausted.load() == 0,
               "%s: %d RetryExhausted throws with the ladder enabled",
-              spec.c_str(), retry_exhausted.load());
+              label.c_str(), retry_exhausted.load());
     CHECK_MSG(inversions.load() == 0, "%s: %d stale-commit inversions",
-              spec.c_str(), inversions.load());
+              label.c_str(), inversions.load());
     CHECK(x.unsafe_peek() == kOps);
     CHECK(y.unsafe_peek() <= x.unsafe_peek());
 }
@@ -324,13 +326,17 @@ int main() {
 
     for (const char* spec : {"shared", "batched:B=8", "sharded:S=4"}) {
         arm_chaos_sites();
-        chaos_bank_cell<stm::LsaAdapter>(spec, StmConfig{});
-        chaos_bank_cell<stm::OrecAdapter>(spec, OrecConfig{});
+        chaos_bank_cell<stm::LsaAdapter>(std::string("lsa/") + spec, spec,
+                                         StmConfig{});
+        chaos_bank_cell<stm::OrecAdapter>(std::string("orec/") + spec, spec,
+                                          OrecConfig{});
         arm_chaos_sites();
         StmConfig lsa;
         lsa.max_versions = 1;  // keep the copier oracle decisive
-        chaos_copier_cell<stm::LsaAdapter>(spec, lsa);
-        chaos_copier_cell<stm::OrecAdapter>(spec, OrecConfig{});
+        chaos_copier_cell<stm::LsaAdapter>(std::string("lsa/") + spec, spec,
+                                            lsa);
+        chaos_copier_cell<stm::OrecAdapter>(std::string("orec/") + spec, spec,
+                                            OrecConfig{});
     }
     fp::reset();
 

@@ -18,12 +18,15 @@
 // CHRONOSTM_TIMEBASE sweeps extra time-base specs through the scenarios.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <stdlib.h>  // posix_memalign for the over-aligned oracle path
 
 #include <chronostm/ds/policy.hpp>
 #include <chronostm/ds/skiplist.hpp>
@@ -35,6 +38,66 @@
 #endif
 
 #include "test_util.hpp"
+
+// ---- allocation oracle ------------------------------------------------
+//
+// TU-wide replacement of the global operator new/delete family with a
+// live-allocation counter (plain malloc/free pass-through, so ASan/TSan
+// still see every block). The oracle check below runs the threaded churn
+// once to populate every lazy one-time structure, snapshots the counter,
+// runs it again, and asserts the epoch drain returned the second run to
+// NET ZERO -- a leak anywhere in the retire/limbo/free pipeline (or a
+// double-count in the engines' pooled access sets) shows up as a nonzero
+// delta, independent of the stats counters the other checks trust.
+// Zero-initialized atomic: constant-initialized, so counting is safe
+// from the first allocation of program start-up.
+
+static std::atomic<long long> g_live_allocs{0};
+
+static void* oracle_alloc(std::size_t n, std::size_t align) {
+    void* p = nullptr;
+    if (align <= alignof(std::max_align_t)) {
+        p = std::malloc(n ? n : 1);
+    } else if (posix_memalign(&p, align, n ? n : align) != 0) {
+        p = nullptr;
+    }
+    if (p == nullptr) throw std::bad_alloc();
+    g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+static void oracle_free(void* p) noexcept {
+    if (p == nullptr) return;
+    g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+void* operator new(std::size_t n) {
+    return oracle_alloc(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n) {
+    return oracle_alloc(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+    return oracle_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+    return oracle_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { oracle_free(p); }
+void operator delete[](void* p) noexcept { oracle_free(p); }
+void operator delete(void* p, std::size_t) noexcept { oracle_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { oracle_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { oracle_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+    oracle_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    oracle_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    oracle_free(p);
+}
 
 using namespace chronostm;
 
@@ -385,6 +448,28 @@ void check_threaded_churn(const std::string& espec) {
     CHECK(st.freed == st.retired);
 }
 
+// ---- net-allocation oracle across a churn run -------------------------
+//
+// The churn check above trusts the heap's own retired/freed counters; this
+// one does not. The first run is warm-up (one-time lazy structures: pooled
+// access sets, thread bootstrap, function-local statics); the second runs
+// the identical churn against the operator-new counter and must come back
+// to exactly the level it started from -- every node, context, pool page,
+// and limbo record allocated inside the scope is returned by the time the
+// engine is destroyed.
+
+template <typename A>
+void check_net_alloc_oracle(const std::string& espec) {
+    check_threaded_churn<A>(espec);  // warm-up
+    const long long before = g_live_allocs.load(std::memory_order_relaxed);
+    check_threaded_churn<A>(espec);  // measured
+    const long long after = g_live_allocs.load(std::memory_order_relaxed);
+    CHECK_MSG(after == before,
+              "engine %s: net live allocations drifted %lld -> %lld "
+              "across a full churn + drain cycle",
+              espec.c_str(), before, after);
+}
+
 // ---- failpoints: park a reader mid-read across the free ---------------
 
 #ifdef CHRONOSTM_FAILPOINTS
@@ -474,6 +559,9 @@ int main() {
 
     check_threaded_churn<stm::LsaAdapter>("lsa");
     check_threaded_churn<stm::OrecAdapter>("orec:bits=12");
+
+    check_net_alloc_oracle<stm::LsaAdapter>("lsa");
+    check_net_alloc_oracle<stm::OrecAdapter>("orec:bits=12");
 
 #ifdef CHRONOSTM_FAILPOINTS
     check_failpoint_parked_reader();

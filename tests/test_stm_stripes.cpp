@@ -1,0 +1,355 @@
+// Tier-1: the STRIPED commit-epoch filter (PR 10). The engine-global
+// epoch word is sharded into cache-line-padded stripes keyed by an
+// address-range hash; writers bump only the stripes their write set
+// covers and readers compare only the stripes their read set touched.
+// These tests pin the stripe-specific behavior:
+//
+//   * geometry: power-of-two rounding, [1,64] clamping, and the orec
+//     engine's table-derived shift (stripe count capped at table size)
+//   * the tentpole workload: a writer committing OUTSIDE the reader's
+//     stripes must leave the O(1) extension fast hit intact at the
+//     default striping, while stripes=1 (the PR 7 single word) must drop
+//     the same extension to the O(R) walk
+//   * aliasing soundness direction: two vars forced into ONE stripe make
+//     a disjoint-var writer cause a spurious walk -- never a stale fast
+//     hit -- and the reader still sees consistent values
+//   * stripes=1 equivalence: the exact PR 7 counter values (validation
+//     fast hits, epoch bumps, and the new stripe counters mirroring the
+//     old fast-hit/walk split)
+//   * commit-time validation across interleaved committers in different
+//     stripes stays on the fast path at the default striping and walks
+//     at stripes=1
+//   * filter off: the stripe counters never move
+//   * the stm::make() registry accepts stripes= as a common key
+//
+// Var placement: a 16KiB-aligned static buffer; offset 64 shares the
+// base's stripe (same 16KiB block), offset 32KiB is two stripes away at
+// the default shift for BOTH engines (LSA shift 14; orec shift
+// 4 + 16 - 6 = 14). The tests still assert the stripe relation through
+// filter_stripe_of() rather than trusting the arithmetic.
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include <chronostm/core/lsa_stm.hpp>
+#include <chronostm/core/orec_stm.hpp>
+#include <chronostm/stm/facade.hpp>
+
+#include "test_util.hpp"
+
+using namespace chronostm;
+
+namespace {
+
+using Tx = Transaction;
+
+constexpr std::size_t kBlock = 16 * 1024;
+alignas(16384) unsigned char lsa_buf[3 * kBlock];
+alignas(16384) unsigned char orec_buf[3 * kBlock];
+
+void check_geometry() {
+    {
+        StmConfig cfg;
+        cfg.filter_stripes = 3;  // rounds up
+        LsaStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 4);
+        CHECK(stm.config().filter_stripes == 4);
+    }
+    {
+        StmConfig cfg;
+        cfg.filter_stripes = 0;  // clamps up to 1
+        LsaStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 1);
+    }
+    {
+        StmConfig cfg;
+        cfg.filter_stripes = 100;  // clamps down to the signature width
+        LsaStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 64);
+    }
+    {
+        // A 16-entry orec table cannot carry 64 stripes: the count is
+        // capped at the table size so a stripe never spans less than one
+        // orec.
+        OrecConfig cfg;
+        cfg.table_bits = 4;
+        cfg.filter_stripes = 64;
+        OrecStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 16);
+        CHECK(stm.config().filter_stripes == 16);
+    }
+}
+
+// The workload the striping exists for: a reader extending over vars the
+// writer never touches. At the default striping the writer's bump lands
+// outside the reader's signature (O(1) fast hit); at stripes=1 every
+// bump is "the" stripe and the reader walks.
+void disjoint_writer_cell_lsa(unsigned stripes, bool expect_fast) {
+    StmConfig cfg;
+    cfg.filter_stripes = stripes;
+    LsaStm stm(tb::make("shared"), cfg);
+    auto* a = new (lsa_buf) TVar<long>(1);
+    auto* b = new (lsa_buf + 2 * kBlock) TVar<long>(10);
+    if (stripes > 1)
+        CHECK(stm.filter_stripe_of(a) != stm.filter_stripe_of(b));
+
+    auto rctx = stm.make_context();
+    auto wctx = stm.make_context();
+    Transaction tx = rctx.txn_begin();
+    CHECK(a->get(tx) == 1);
+    wctx.run([&](Tx& t) { b->set(t, 11); });  // disjoint writer
+    CHECK(tx.try_extend_now());
+    CHECK(rctx.txn_commit(tx));
+
+    const auto st = rctx.stats();
+    if (expect_fast) {
+        CHECK_MSG(st.extension_fast_hits >= 1 && st.stripe_walks == 0,
+                  "stripes=%u: fast hits %llu walks %llu", stripes,
+                  static_cast<unsigned long long>(st.extension_fast_hits),
+                  static_cast<unsigned long long>(st.stripe_walks));
+        CHECK(st.stripe_fast_hits >= 1);
+    } else {
+        CHECK_MSG(st.stripe_walks >= 1 && st.extension_fast_hits == 0,
+                  "stripes=%u: expected a walk, fast hits %llu", stripes,
+                  static_cast<unsigned long long>(st.extension_fast_hits));
+    }
+    b->~TVar<long>();
+    a->~TVar<long>();
+}
+
+void disjoint_writer_cell_orec(unsigned stripes, bool expect_fast) {
+    OrecConfig cfg;
+    cfg.filter_stripes = stripes;
+    OrecStm stm(tb::make("shared"), cfg);
+    auto* a = new (orec_buf) WordVar<long>(1);
+    auto* b = new (orec_buf + 2 * kBlock) WordVar<long>(10);
+    if (stripes > 1)
+        CHECK(stm.filter_stripe_of(a) != stm.filter_stripe_of(b));
+
+    auto rctx = stm.make_context();
+    auto wctx = stm.make_context();
+    OrecTransaction tx = rctx.txn_begin();
+    CHECK(a->get(tx) == 1);
+    wctx.run([&](OrecTransaction& t) { b->set(t, 11); });
+    CHECK(tx.try_extend_now());
+    CHECK(rctx.txn_commit(tx));
+
+    const auto st = rctx.stats();
+    if (expect_fast) {
+        CHECK_MSG(st.extension_fast_hits >= 1 && st.stripe_walks == 0,
+                  "orec stripes=%u: fast hits %llu walks %llu", stripes,
+                  static_cast<unsigned long long>(st.extension_fast_hits),
+                  static_cast<unsigned long long>(st.stripe_walks));
+        CHECK(st.stripe_fast_hits >= 1);
+    } else {
+        CHECK_MSG(st.stripe_walks >= 1 && st.extension_fast_hits == 0,
+                  "orec stripes=%u: expected a walk, fast hits %llu",
+                  stripes,
+                  static_cast<unsigned long long>(st.extension_fast_hits));
+    }
+    b->~WordVar<long>();
+    a->~WordVar<long>();
+}
+
+void check_disjoint_writer() {
+    disjoint_writer_cell_lsa(64, /*expect_fast=*/true);
+    disjoint_writer_cell_lsa(1, /*expect_fast=*/false);
+    disjoint_writer_cell_orec(64, /*expect_fast=*/true);
+    disjoint_writer_cell_orec(1, /*expect_fast=*/false);
+}
+
+// Aliasing direction: two DISTINCT vars in one stripe. The writer's bump
+// aliases into the reader's signature, so the extension must take the
+// spurious walk (stripe_walks moves) -- and because the vars really are
+// distinct, the walk passes and the extension still succeeds with
+// consistent values. A stale fast hit would show up as stripe_walks == 0
+// here.
+void check_alias_spurious_walk() {
+    {
+        StmConfig cfg;  // default 64 stripes
+        LsaStm stm(tb::make("shared"), cfg);
+        auto* a = new (lsa_buf) TVar<long>(1);
+        auto* c = new (lsa_buf + 64) TVar<long>(2);  // same 16KiB block
+        CHECK(stm.filter_stripe_of(a) == stm.filter_stripe_of(c));
+
+        auto rctx = stm.make_context();
+        auto wctx = stm.make_context();
+        Transaction tx = rctx.txn_begin();
+        CHECK(a->get(tx) == 1);
+        wctx.run([&](Tx& t) { c->set(t, 7); });  // same stripe, other var
+        CHECK(tx.try_extend_now());  // walk passes: a is untouched
+        CHECK(a->get(tx) == 1);
+        CHECK(rctx.txn_commit(tx));
+
+        const auto st = rctx.stats();
+        CHECK_MSG(st.stripe_walks >= 1, "lsa alias: %llu spurious walks",
+                  static_cast<unsigned long long>(st.stripe_walks));
+        CHECK(st.extension_fast_hits == 0);
+        CHECK(rctx.run([&](Tx& t) { return c->get(t); }) == 7);
+        c->~TVar<long>();
+        a->~TVar<long>();
+    }
+    {
+        OrecConfig cfg;
+        OrecStm stm(tb::make("shared"), cfg);
+        auto* a = new (orec_buf) WordVar<long>(1);
+        auto* c = new (orec_buf + 64) WordVar<long>(2);
+        CHECK(stm.filter_stripe_of(a) == stm.filter_stripe_of(c));
+
+        auto rctx = stm.make_context();
+        auto wctx = stm.make_context();
+        OrecTransaction tx = rctx.txn_begin();
+        CHECK(a->get(tx) == 1);
+        wctx.run([&](OrecTransaction& t) { c->set(t, 7); });
+        CHECK(tx.try_extend_now());
+        CHECK(a->get(tx) == 1);
+        CHECK(rctx.txn_commit(tx));
+
+        const auto st = rctx.stats();
+        CHECK_MSG(st.stripe_walks >= 1, "orec alias: %llu spurious walks",
+                  static_cast<unsigned long long>(st.stripe_walks));
+        CHECK(st.extension_fast_hits == 0);
+        CHECK(rctx.run([&](OrecTransaction& t) { return c->get(t); }) == 7);
+        c->~WordVar<long>();
+        a->~WordVar<long>();
+    }
+}
+
+// stripes=1 must reproduce the PR 7 filter exactly: the solo updater's
+// counters from test_stm_epoch, plus the new stripe counters mirroring
+// the fast-hit/walk split (every fast hit is a stripe fast hit, no
+// walks).
+void check_stripe1_equivalence() {
+    {
+        StmConfig cfg;
+        cfg.filter_stripes = 1;
+        LsaStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 1);
+        TVar<long> v(0);
+        auto ctx = stm.make_context();
+        for (int i = 0; i < 3; ++i)
+            ctx.run([&](Tx& tx) { v.set(tx, v.get(tx) + 1); });
+        CHECK(v.unsafe_peek() == 3);
+        const auto st = ctx.stats();
+        CHECK(st.validation_fast_hits == 3);
+        CHECK(st.stripe_fast_hits == 3);
+        CHECK(st.stripe_walks == 0);
+        CHECK(stm.commit_epoch() == 3);  // one bump per writer commit
+    }
+    {
+        OrecConfig cfg;
+        cfg.filter_stripes = 1;
+        OrecStm stm(tb::make("shared"), cfg);
+        CHECK(stm.filter_stripes() == 1);
+        WordVar<long> v(5);
+        auto ctx = stm.make_context();
+        OrecTransaction tx = ctx.txn_begin();
+        CHECK(v.get(tx) == 5);
+        auto side = stm.time_base().make_thread_clock();
+        side.get_new_ts();
+        CHECK(tx.try_extend_now());
+        CHECK(ctx.txn_commit(tx));
+        const auto st = ctx.stats();
+        CHECK(st.extension_fast_hits == 1);
+        CHECK(st.stripe_fast_hits == 1);
+        CHECK(st.stripe_walks == 0);
+        CHECK(stm.commit_epoch() == 0);
+    }
+}
+
+// Interleaved committers in different stripes: each one's read set never
+// covers the other's write stripe, so BOTH commit-time validations stay
+// on the fast path at the default striping; at stripes=1 the first
+// opened transaction sees the other's bump and walks.
+void check_interleaved_commit_validation() {
+    const auto run_cell = [](unsigned stripes, bool expect_fast) {
+        StmConfig cfg;
+        cfg.filter_stripes = stripes;
+        LsaStm stm(tb::make("shared"), cfg);
+        auto* a = new (lsa_buf) TVar<long>(0);
+        auto* b = new (lsa_buf + 2 * kBlock) TVar<long>(0);
+        if (stripes > 1)
+            CHECK(stm.filter_stripe_of(a) != stm.filter_stripe_of(b));
+
+        auto ca = stm.make_context();
+        auto cb = stm.make_context();
+        Transaction ta = ca.txn_begin();
+        const long va = a->get(ta);  // stripe snapshot before B commits
+        Transaction tb = cb.txn_begin();
+        b->set(tb, b->get(tb) + 1);
+        CHECK(cb.txn_commit(tb));
+        a->set(ta, va + 1);
+        CHECK(ca.txn_commit(ta));
+
+        const auto st = ca.stats();
+        CHECK(st.commits() == 1);
+        if (expect_fast) {
+            CHECK_MSG(st.validation_fast_hits == 1 && st.stripe_walks == 0,
+                      "stripes=%u: validation walked", stripes);
+        } else {
+            CHECK_MSG(st.validation_fast_hits == 0 && st.stripe_walks == 1,
+                      "stripes=%u: validation did not walk", stripes);
+        }
+        CHECK(a->unsafe_peek() == 1);
+        CHECK(b->unsafe_peek() == 1);
+        b->~TVar<long>();
+        a->~TVar<long>();
+    };
+    run_cell(64, /*expect_fast=*/true);
+    run_cell(1, /*expect_fast=*/false);
+}
+
+// Filter off: the walk runs every time and the stripe counters must not
+// move at all (they only account filtered decisions).
+void check_filter_off_counters() {
+    StmConfig cfg;
+    cfg.epoch_filter = false;
+    LsaStm stm(tb::make("shared"), cfg);
+    auto* a = new (lsa_buf) TVar<long>(1);
+    auto* b = new (lsa_buf + 2 * kBlock) TVar<long>(10);
+
+    auto rctx = stm.make_context();
+    auto wctx = stm.make_context();
+    Transaction tx = rctx.txn_begin();
+    CHECK(a->get(tx) == 1);
+    wctx.run([&](Tx& t) { b->set(t, 11); });
+    CHECK(tx.try_extend_now());
+    CHECK(rctx.txn_commit(tx));
+
+    const auto rs = rctx.stats();
+    const auto ws = wctx.stats();
+    CHECK(rs.extensions == 1 && rs.extension_fast_hits == 0);
+    CHECK(rs.stripe_fast_hits == 0 && rs.stripe_walks == 0);
+    CHECK(ws.stripe_fast_hits == 0 && ws.stripe_walks == 0);
+    b->~TVar<long>();
+    a->~TVar<long>();
+}
+
+// The registry grammar: stripes= is a common key on every engine spec.
+void check_registry_key() {
+    (void)stm::make("lsa:stripes=4");
+    (void)stm::make("orec:stripes=1,bits=14");
+    bool threw = false;
+    try {
+        (void)stm::make("lsa:stripez=4");
+    } catch (const std::invalid_argument&) {
+        threw = true;
+    }
+    CHECK_MSG(threw, "unknown key was not rejected (%d)", threw ? 1 : 0);
+}
+
+}  // namespace
+
+int main() {
+    check_geometry();
+    check_disjoint_writer();
+    check_alias_spurious_walk();
+    check_stripe1_equivalence();
+    check_interleaved_commit_validation();
+    check_filter_off_counters();
+    check_registry_key();
+    std::printf("test_stm_stripes: PASS\n");
+    return 0;
+}
